@@ -1,0 +1,35 @@
+"""Shared helpers for the table/figure regeneration benchmarks.
+
+Every benchmark computes its table once (``benchmark.pedantic`` with a
+single round — these are experiment harnesses, not microbenchmarks),
+prints the rows the paper reports, and writes a JSON artifact under
+``benchmarks/results/`` that EXPERIMENTS.md is assembled from.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def save_result(name: str, payload) -> None:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    with open(RESULTS_DIR / f"{name}.json", "w") as f:
+        json.dump(payload, f, indent=2, default=str)
+
+
+def print_table(title: str, rows: dict, fmt: str = "{:.3f}") -> None:
+    print(f"\n=== {title} ===")
+    for key, value in rows.items():
+        if isinstance(value, dict):
+            cells = "  ".join(f"{k}={fmt.format(v)}" for k, v in value.items())
+            print(f"{str(key):>18s}: {cells}")
+        else:
+            print(f"{str(key):>18s}: {fmt.format(value)}")
+
+
+def run_once(benchmark, fn):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)

@@ -1,0 +1,61 @@
+"""Session fixtures for the experiment benchmarks: trained zoo models,
+corpora, and harness tasks (trained once, cached on disk)."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.data.tasks import TASKS, make_task
+from repro.models.zoo import PROFILES, get_corpus, load_model
+
+#: the six models of Tables 2/3
+TABLE_MODELS = [
+    "opt-66b-sim",
+    "llama-3.1-8b-sim",
+    "llama-3.1-70b-sim",
+    "mistral-7b-sim",
+    "phi-4-14b-sim",
+    "qwen-2.5-14b-sim",
+]
+
+
+@pytest.fixture(scope="session")
+def zoo():
+    return {name: load_model(name) for name in TABLE_MODELS}
+
+
+@pytest.fixture(scope="session")
+def llama8b():
+    return load_model("llama-3.1-8b-sim")
+
+
+@pytest.fixture(scope="session")
+def mistral7b():
+    return load_model("mistral-7b-sim")
+
+
+@pytest.fixture(scope="session")
+def llama2_13b():
+    return load_model("llama-2-13b-sim")
+
+
+@pytest.fixture(scope="session")
+def wiki2():
+    return get_corpus("wiki2-sim", 240_000)
+
+
+@pytest.fixture(scope="session")
+def c4():
+    return get_corpus("c4-sim", 240_000)
+
+
+@pytest.fixture(scope="session")
+def harness_tasks(wiki2):
+    """Harness tasks at reduced question counts (benchmark budget)."""
+    tasks = {}
+    for name, spec in TASKS.items():
+        spec = dataclasses.replace(spec, n_questions=min(spec.n_questions, 48))
+        tasks[name] = make_task(wiki2, spec)
+    return tasks

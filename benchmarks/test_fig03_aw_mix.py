@@ -1,0 +1,31 @@
+"""Figure 3: perplexity when only activations or only weights are MXFP4.
+
+The paper's asymmetry: W-MXFP4 is nearly free; A-MXFP4 is what collapses.
+"""
+
+from _util import print_table, run_once, save_result
+
+from repro.eval import perplexity_table
+
+MODELS = ["opt-66b-sim", "llama-3.1-8b-sim", "llama-3.1-70b-sim", "mistral-7b-sim"]
+CONFIGS = ["baseline", "a:bf16,w:mxfp4", "a:mxfp4,w:bf16", "mxfp4"]
+
+
+def test_fig03(benchmark, zoo, wiki2):
+    def run():
+        return {m: perplexity_table(zoo[m], wiki2, CONFIGS) for m in MODELS}
+
+    table = run_once(benchmark, run)
+    save_result("fig03_aw_mix", table)
+    print_table("Figure 3: A/W MXFP4 mix", table)
+
+    for m in MODELS:
+        row = table[m]
+        w_only = row["a:bf16,w:mxfp4"]
+        a_only = row["a:mxfp4,w:bf16"]
+        # Weight-only quantization is a negligible hit...
+        assert w_only < row["baseline"] * 1.25
+        # ...activation quantization is the real damage, and the full
+        # MXFP4 tracks the activation-only case.
+        assert a_only > w_only
+        assert row["mxfp4"] >= a_only * 0.9

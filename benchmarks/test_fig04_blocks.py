@@ -1,0 +1,47 @@
+"""Figure 4: activation-magnitude heatmap structure and the sampled-block
+MXFP4/MXFP6 representations (the worked example is exact)."""
+
+import numpy as np
+from _util import print_table, run_once, save_result
+
+from repro.core import MXFP4, MXFP6
+from repro.nn.tensor import no_grad
+
+FIG4_UPPER = np.array([-0.27, -0.19, 0.99, -0.20, -9.84, -0.39])
+FIG4_LOWER = np.array([-0.27, 0.04, -1.02, 0.18, -0.45, -0.20])
+
+
+def _attention_input(model, corpus):
+    """Post-norm attention input of layer 0 (the Figure 4a tensor)."""
+    batch = corpus.val_batch(8, 64)
+    with no_grad():
+        x = model.embed(batch[:, :-1])
+        x = x + model._positional(batch.shape[1] - 1)
+        return model.blocks[0].attn_norm(x).data
+
+
+def test_fig04(benchmark, llama8b, wiki2):
+    def run():
+        acts = _attention_input(llama8b, wiki2)
+        flat = np.abs(acts.reshape(-1, acts.shape[-1]))
+        channel_mag = flat.mean(axis=0)
+        top = np.argsort(-channel_mag)[:4]
+        return {
+            "channel_mean_mag_top4": channel_mag[top].tolist(),
+            "channel_mean_mag_median": float(np.median(channel_mag)),
+            "outlier_channels": top.tolist(),
+            "upper_block_mxfp4": MXFP4()(FIG4_UPPER).tolist(),
+            "upper_block_mxfp6": MXFP6()(FIG4_UPPER).tolist(),
+            "lower_block_mxfp4": MXFP4()(FIG4_LOWER).tolist(),
+        }
+
+    out = run_once(benchmark, run)
+    save_result("fig04_blocks", out)
+    print(out)
+
+    # Channel-concentrated outliers (the heatmap's vertical stripes).
+    assert out["channel_mean_mag_top4"][0] > 8 * out["channel_mean_mag_median"]
+    # The paper's printed MXFP4 representations, exactly.
+    assert out["upper_block_mxfp4"] == [0.0, 0.0, 1.0, 0.0, -8.0, 0.0]
+    assert out["upper_block_mxfp6"][4] == -10.0
+    assert out["lower_block_mxfp4"] == [-0.25, 0.0, -1.0, 0.125, -0.5, -0.25]

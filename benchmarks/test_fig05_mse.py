@@ -1,0 +1,41 @@
+"""Figure 5: contribution to MSE from block-max elements vs the per-block
+largest-error elements, on sampled attention inputs."""
+
+import numpy as np
+from _util import print_table, run_once, save_result
+
+from repro.core import MXFP4, mse_decomposition
+from repro.nn.tensor import no_grad
+
+
+def _attention_input(model, corpus):
+    batch = corpus.val_batch(8, 64)
+    with no_grad():
+        x = model.embed(batch[:, :-1])
+        x = x + model._positional(batch.shape[1] - 1)
+        return model.blocks[-1].attn_norm(x).data  # deepest layer ~ layer 16
+
+
+def test_fig05(benchmark, zoo, wiki2):
+    def run():
+        out = {}
+        for name in ["opt-66b-sim", "llama-3.1-8b-sim"]:
+            acts = _attention_input(zoo[name], wiki2)
+            d = mse_decomposition(acts, MXFP4()(acts))
+            out[name] = {
+                "bm_share": d.bm_share,
+                "largest_error_share": d.largest_error_share,
+                "bm_is_largest_error_rate": d.bm_is_largest_error_rate,
+            }
+        return out
+
+    table = run_once(benchmark, run)
+    save_result("fig05_mse", table)
+    print_table("Figure 5: MSE decomposition", table)
+
+    for name, row in table.items():
+        # BM elements dominate the quantization MSE (paper: ~75-95%).
+        assert row["bm_share"] > 0.5
+        assert row["largest_error_share"] >= row["bm_share"]
+        # ...because the BM usually *is* the largest-error element.
+        assert row["bm_is_largest_error_rate"] > 0.5

@@ -1,0 +1,40 @@
+"""Figure 6: binary encodings of the sampled block under MXFP4 vs MXFP4+."""
+
+import numpy as np
+from _util import run_once, save_result
+
+from repro.core import MXFP4, MXFP4Plus
+from repro.core.layout import pack_mx, pack_mxplus, unpack_bits
+
+FIG4_UPPER = np.array([-0.27, -0.19, 0.99, -0.20, -9.84, -0.39])
+
+
+def test_fig06(benchmark):
+    def run():
+        fmt4, fmtp = MXFP4(), MXFP4Plus()
+        enc4 = fmt4.encode(FIG4_UPPER)
+        encp = fmtp.encode(FIG4_UPPER)
+        p4 = pack_mx(fmt4, enc4)
+        pp = pack_mxplus(fmtp, encp)
+        codes4 = unpack_bits(p4.elements, 4, 32)[:6]
+        codesp = unpack_bits(pp.elements, 4, 32)[:6]
+        return {
+            "mxfp4_dequant": fmt4(FIG4_UPPER).tolist(),
+            "mxfp4+_dequant": fmtp(FIG4_UPPER).tolist(),
+            "mxfp4_codes": [format(c, "04b") for c in codes4],
+            "mxfp4+_codes": [format(c, "04b") for c in codesp],
+            "shared_exp": int(enc4.shared_exp.ravel()[0]),
+            "bm_index": int(encp.bm_index.ravel()[0]),
+        }
+
+    out = run_once(benchmark, run)
+    save_result("fig06_encoding", out)
+    print(out)
+
+    assert out["shared_exp"] == 1  # shared scale 2^1, as in the figure
+    assert out["mxfp4_dequant"][4] == -8.0
+    assert out["mxfp4+_dequant"][4] == -10.0
+    # BM code: S=1, extended mantissa 010 (1.010b * 2^2 * 2 = 10).
+    assert out["mxfp4+_codes"][4] == "1010"
+    # NBM codes identical between MX and MX+.
+    assert out["mxfp4_codes"][:4] == out["mxfp4+_codes"][:4]

@@ -1,0 +1,41 @@
+"""Figure 7: MX+ data layout — storage accounting for all three widths."""
+
+import numpy as np
+from _util import print_table, run_once, save_result
+
+from repro.core import MXFP4Plus, MXFP6Plus, MXFP8Plus, get_format
+from repro.core.layout import pack_mxplus
+
+
+def test_fig07(benchmark):
+    def run():
+        rng = np.random.default_rng(0)
+        x = rng.standard_normal((64, 32 * 8))
+        out = {}
+        for base, factory in [
+            ("mxfp4", MXFP4Plus),
+            ("mxfp6", MXFP6Plus),
+            ("mxfp8", MXFP8Plus),
+        ]:
+            fmt = factory()
+            packed = pack_mxplus(fmt, fmt.encode(x))
+            bits = packed.total_bytes() * 8 / x.size
+            out[fmt.name] = {
+                "measured_bits_per_elem": bits,
+                "declared_bits_per_elem": fmt.bits_per_element(),
+                "base_bits_per_elem": get_format(base).bits_per_element(),
+                "bm_effective_mantissa_bits": fmt.bm_mbits,
+            }
+        return out
+
+    table = run_once(benchmark, run)
+    save_result("fig07_layout", table)
+    print_table("Figure 7: MX+ layout", table)
+
+    for name, row in table.items():
+        assert row["measured_bits_per_elem"] == row["declared_bits_per_elem"]
+        # +0.25 bits over the base format (one sideband byte per block).
+        assert row["measured_bits_per_elem"] - row["base_bits_per_elem"] == 0.25
+    assert table["mxfp4+"]["bm_effective_mantissa_bits"] == 3
+    assert table["mxfp6+"]["bm_effective_mantissa_bits"] == 5
+    assert table["mxfp8+"]["bm_effective_mantissa_bits"] == 7

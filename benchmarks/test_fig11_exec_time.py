@@ -1,0 +1,55 @@
+"""Figure 11: (a) prefill/decode execution-time breakdown and (b) the
+normalized execution time across output lengths (Llama-2-13B serving)."""
+
+from _util import print_table, run_once, save_result
+
+from repro.gpu.inference import CONFIGS, simulate_inference
+from repro.models.zoo import ARCHS
+
+
+def test_fig11a(benchmark):
+    arch = ARCHS["llama-2-13b"]
+
+    def run():
+        out = {}
+        for name in ["mxfp4", "a-mxfp4+", "mxfp8"]:
+            st = simulate_inference(arch, CONFIGS[name], batch=4, prompt_len=1024, output_len=64)
+            out[name] = {"prefill_ms": st.prefill_s * 1e3, "decode_ms": st.decode_s * 1e3}
+        return out
+
+    table = run_once(benchmark, run)
+    save_result("fig11a_breakdown", table)
+    print_table("Figure 11a: execution time breakdown (ms)", table)
+
+    base = table["mxfp4"]
+    plus = table["a-mxfp4+"]
+    # Decode dominates and is memory-bound: the extra MMA is almost free.
+    assert base["decode_ms"] > base["prefill_ms"]
+    assert plus["decode_ms"] / base["decode_ms"] < 1.10  # paper: 6.71%
+    # Prefill pays the Algorithm 1 compute (paper: 1.54x).
+    assert 1.3 < plus["prefill_ms"] / base["prefill_ms"] < 1.7
+    # MXFP8 is a large slowdown in both stages.
+    assert table["mxfp8"]["decode_ms"] > base["decode_ms"] * 1.5
+
+
+def test_fig11b(benchmark):
+    arch = ARCHS["llama-2-13b"]
+
+    def run():
+        out = {}
+        for out_len in [32, 64, 128, 256]:
+            t4 = simulate_inference(arch, CONFIGS["mxfp4"], 4, 1024, out_len).total_s
+            tp = simulate_inference(arch, CONFIGS["a-mxfp4+"], 4, 1024, out_len).total_s
+            t8 = simulate_inference(arch, CONFIGS["mxfp8"], 4, 1024, out_len).total_s
+            out[out_len] = {"a-mxfp4+": tp / t4, "mxfp8": t8 / t4}
+        return out
+
+    table = run_once(benchmark, run)
+    save_result("fig11b_output_sweep", table)
+    print_table("Figure 11b: normalized execution time vs output length", table)
+
+    ratios = [table[n]["a-mxfp4+"] for n in [32, 64, 128, 256]]
+    # Paper: up to ~1.13x, shrinking as decode dominates more.
+    assert all(r < 1.35 for r in ratios)
+    assert ratios[-1] < ratios[0]
+    assert all(table[n]["mxfp8"] > table[n]["a-mxfp4+"] for n in table)

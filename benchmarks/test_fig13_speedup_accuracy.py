@@ -1,0 +1,49 @@
+"""Figure 13: end-to-end speedup over BF16 vs average task accuracy on
+Llama-2-13B, for prefill-dominant (8 out tokens) and decode-dominant (64)
+scenarios."""
+
+from _util import print_table, run_once, save_result
+
+from repro.eval import task_accuracy
+from repro.gpu.inference import CONFIGS, end_to_end_speedup
+from repro.models.zoo import ARCHS
+from repro.nn.quantize import QuantContext
+
+SPEED_CONFIGS = ["mxfp4", "a-mxfp4+", "mxfp8", "mxfp4+", "mxfp4++", "a8w4"]
+ACC_SPEC = {
+    "mxfp4": "mxfp4",
+    "a-mxfp4+": "a-mxfp4+",
+    "mxfp8": "mxfp8",
+    "mxfp4+": "mxfp4+",
+    "mxfp4++": "mxfp4++",
+    "a8w4": "a:mxfp8,w:mxfp4",
+}
+
+
+def test_fig13(benchmark, llama2_13b, harness_tasks):
+    arch = ARCHS["llama-2-13b"]
+
+    def run():
+        out = {}
+        for name in SPEED_CONFIGS:
+            qc = QuantContext.named(ACC_SPEC[name])
+            acc = sum(
+                task_accuracy(llama2_13b, t, qc) for t in harness_tasks.values()
+            ) / len(harness_tasks)
+            out[name] = {
+                "speedup_out8": end_to_end_speedup(arch, CONFIGS[name], 4, 1024, 8),
+                "speedup_out64": end_to_end_speedup(arch, CONFIGS[name], 4, 1024, 64),
+                "avg_accuracy": acc,
+            }
+        return out
+
+    table = run_once(benchmark, run)
+    save_result("fig13_speedup_accuracy", table)
+    print_table("Figure 13: speedup over BF16 + avg accuracy", table)
+
+    # MXFP4+ under HW support: near-MXFP4 speedup with higher accuracy.
+    assert table["mxfp4+"]["speedup_out64"] > table["mxfp4"]["speedup_out64"] * 0.9
+    assert table["mxfp4+"]["avg_accuracy"] > table["mxfp4"]["avg_accuracy"]
+    # A-MXFP4+ (software) also beats MXFP4 accuracy at near-MXFP4 speed.
+    assert table["a-mxfp4+"]["avg_accuracy"] > table["mxfp4"]["avg_accuracy"]
+    assert table["a-mxfp4+"]["speedup_out64"] > table["mxfp8"]["speedup_out64"]

@@ -1,0 +1,55 @@
+"""Figure 14: perplexity when the top-k magnitude elements of each block
+are held in MXFP6, plus the share of outliers covered, and the channel
+reordering curve."""
+
+import numpy as np
+from _util import print_table, run_once, save_result
+
+from repro.core import register_format
+from repro.core.reorder import channel_outlier_counts, reorder_permutation
+from repro.core.topk import TopKPromoteFormat, promoted_fraction
+from repro.eval import perplexity
+from repro.nn.quantize import QuantContext
+from repro.nn.tensor import no_grad
+
+
+def _attention_input(model, corpus):
+    batch = corpus.val_batch(8, 64)
+    with no_grad():
+        x = model.embed(batch[:, :-1])
+        x = x + model._positional(batch.shape[1] - 1)
+        return model.blocks[0].attn_norm(x).data
+
+
+def test_fig14(benchmark, llama8b, mistral7b, wiki2):
+    def run():
+        out = {}
+        for label, model in [("llama-3.1-8b-sim", llama8b), ("mistral-7b-sim", mistral7b)]:
+            acts = _attention_input(model, wiki2)
+            row = {
+                "none(mxfp4)": perplexity(model, wiki2, QuantContext.named("mxfp4")),
+            }
+            frac = {}
+            for k in (1, 2, 3, 4):
+                row[f"top{k}"] = perplexity(
+                    model, wiki2, QuantContext.named(f"mxfp4-top{k}")
+                )
+                frac[f"top{k}"] = promoted_fraction(acts, k)
+            out[label] = {"perplexity": row, "outlier_coverage": frac}
+        return out
+
+    table = run_once(benchmark, run)
+    save_result("fig14_topk", table)
+    for label, payload in table.items():
+        print_table(f"Figure 14 ({label}): perplexity", payload["perplexity"])
+        print_table(f"Figure 14 ({label}): outlier coverage", payload["outlier_coverage"])
+
+    for payload in table.values():
+        ppl = payload["perplexity"]
+        cov = payload["outlier_coverage"]
+        # top-1 already improves over plain MXFP4; extra k has
+        # diminishing returns (paper: most gains by top-2).
+        assert ppl["top1"] <= ppl["none(mxfp4)"]
+        assert ppl["top2"] <= ppl["top1"] + 0.05
+        assert cov["top1"] <= cov["top2"] <= cov["top4"]
+        assert cov["top2"] > 0.55

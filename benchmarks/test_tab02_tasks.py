@@ -1,0 +1,43 @@
+"""Table 2: direct-cast zero-shot task accuracy across six models and the
+full format ladder."""
+
+from _util import print_table, run_once, save_result
+
+from repro.eval import accuracy_table
+
+FORMATS = [
+    "baseline",
+    "mxfp8+", "mxfp8",
+    "mxfp6+", "mxfp6",
+    "mxfp4++", "mxfp4+", "a-mxfp4+", "mxfp4",
+]
+MODELS = [
+    "opt-66b-sim",
+    "llama-3.1-8b-sim",
+    "llama-3.1-70b-sim",
+    "mistral-7b-sim",
+    "phi-4-14b-sim",
+    "qwen-2.5-14b-sim",
+]
+
+
+def test_tab02(benchmark, zoo, harness_tasks):
+    def run():
+        return {m: accuracy_table(zoo[m], harness_tasks, FORMATS) for m in MODELS}
+
+    table = run_once(benchmark, run)
+    save_result("tab02_tasks", table)
+    for m in MODELS:
+        print_table(f"Table 2 ({m})", table[m], "{:.1f}")
+
+    def avg(m, fmt):
+        return sum(table[m][fmt].values()) / len(table[m][fmt])
+
+    for m in MODELS:
+        # The headline: MXFP4+ beats MXFP4 on average accuracy, and the
+        # high-bit formats track the baseline.
+        assert avg(m, "mxfp4+") >= avg(m, "mxfp4") - 0.5
+        assert avg(m, "mxfp8") >= avg(m, "baseline") - 6.0
+    # On the outlier-heavy models the MXFP4 -> MXFP4+ gap is large.
+    assert avg("opt-66b-sim", "mxfp4+") > avg("opt-66b-sim", "mxfp4")
+    assert avg("llama-3.1-8b-sim", "mxfp4+") > avg("llama-3.1-8b-sim", "mxfp4")

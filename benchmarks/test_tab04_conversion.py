@@ -1,0 +1,31 @@
+"""Table 4: matmul time with BF16 activations and MXFP4+/MXFP4++ weights
+(conversion-before-compute on a non-MX GPU), normalized to MXFP4."""
+
+from _util import print_table, run_once, save_result
+
+from repro.gpu.convert import table4_row
+
+M_VALUES = [8, 16, 32, 1024, 2048, 4096]
+
+
+def test_tab04(benchmark):
+    def run():
+        return {
+            "mxfp4+": table4_row(M_VALUES, "mxfp4+"),
+            "mxfp4++": table4_row(M_VALUES, "mxfp4++"),
+        }
+
+    table = run_once(benchmark, run)
+    save_result("tab04_conversion", table)
+    print_table("Table 4: normalized conversion matmul time", table)
+
+    for variant, row in table.items():
+        small = row[8]
+        large = row[4096]
+        # Overhead is visible at small M (paper 1.07-1.10)...
+        assert 1.03 < small < 1.15
+        # ...and amortized at large M (paper 1.01-1.05).
+        assert large < small
+        assert large < 1.06
+    # MX++ conversion costs slightly more than MX+ everywhere.
+    assert all(table["mxfp4++"][m] >= table["mxfp4+"][m] for m in M_VALUES)

@@ -1,0 +1,29 @@
+"""Table 5: area and power of the MX+ Tensor-Core components (28nm)."""
+
+from _util import print_table, run_once, save_result
+
+from repro.gpu.area import MXPLUS_COMPONENTS, REFERENCE_AREAS_MM2, scale_to_node, tensor_core_overhead
+
+
+def test_tab05(benchmark):
+    def run():
+        rows = {
+            c.name: {"area_mm2": c.area_mm2, "power_mw": c.power_mw}
+            for c in MXPLUS_COMPONENTS
+        }
+        rows["total"] = tensor_core_overhead()
+        rows["total"]["area_4nm_est_mm2"] = scale_to_node(rows["total"]["area_mm2"])
+        return rows
+
+    table = run_once(benchmark, run)
+    save_result("tab05_area", table)
+    print_table("Table 5: MX+ area/power per Tensor Core", table, "{:.4f}")
+
+    total = table["total"]
+    assert abs(total["area_mm2"] - 0.020) < 1e-6
+    assert abs(total["power_mw"] - 12.11) < 1e-6
+    # Much smaller than the competing Tensor-Core integrations.
+    assert total["area_mm2"] < REFERENCE_AREAS_MM2["olive"]
+    assert total["area_mm2"] < REFERENCE_AREAS_MM2["rm-stc"]
+    # BCU dominates the added area, as in the paper.
+    assert table["bm-compute-unit"]["area_mm2"] > table["bm-detector"]["area_mm2"]

@@ -1,0 +1,28 @@
+"""Table 6: measured quantization time vs input length, normalized to
+MXFP4 — on this library's own vectorized encoders."""
+
+from _util import print_table, run_once, save_result
+
+from repro.gpu.quanttime import quantization_time_table
+
+TOKENS = [32, 128, 512, 1024, 2048]
+
+
+def test_tab06(benchmark):
+    def run():
+        return quantization_time_table(TOKENS, dim=1024, repeats=3)
+
+    table = run_once(benchmark, run)
+    save_result("tab06_quant_time", table)
+    print_table("Table 6: normalized quantization time", table)
+
+    for tokens, row in table.items():
+        # MXFP4+ costs about the same as MXFP4 (the BM is found during
+        # shared-scale computation anyway) — paper: 1.00-1.05x; ours is a
+        # one-extra-vector-op numpy kernel, same ballpark.
+        assert row["mxfp4+"] < 1.7  # loose: wall-clock jitter on shared CPUs
+        # MXFP4++ pays for the second-max pass. The paper's fused CUDA
+        # kernel lands at 1.04-1.15x; our numpy encoder re-quantizes the
+        # NBMs in a second full pass, so the ratio is larger (~2x) but the
+        # ordering and trend (amortizing with length) are the same.
+        assert row["mxfp4+"] <= row["mxfp4++"] < 3.5

@@ -1,0 +1,55 @@
+"""Table 7: WikiText-2 perplexity vs other quantization schemes
+(SmoothQuant, QuaRot, Atom, ANT, OliVe, Tender, their MX-* group-32
+variants, LLM-FP4) against MXFP4+ and MXFP4++."""
+
+from _util import print_table, run_once, save_result
+
+from repro.eval import perplexity
+from repro.quant import scheme_context
+
+SCHEMES = [
+    "baseline",
+    "smq-int4", "smq-mxfp4",
+    "quarot-int4", "quarot-mxfp4",
+    "atom",
+    "ant", "mx-ant",
+    "olive", "mx-olive",
+    "tender", "mx-tender",
+    "llm-fp4",
+    "mxfp4", "mxfp4+", "mxfp4++",
+]
+MODELS = ["opt-66b-sim", "llama-3.1-8b-sim", "mistral-7b-sim", "qwen-2.5-14b-sim"]
+
+
+def test_tab07(benchmark, zoo, wiki2):
+    def run():
+        out = {}
+        for m in MODELS:
+            out[m] = {
+                s: perplexity(zoo[m], wiki2, scheme_context(s)) for s in SCHEMES
+            }
+        return out
+
+    table = run_once(benchmark, run)
+    save_result("tab07_schemes", table)
+    for m in MODELS:
+        print_table(f"Table 7 ({m})", table[m])
+
+    for m in MODELS:
+        row = table[m]
+        # MX-variants improve their per-tensor originals.
+        assert row["mx-ant"] <= row["ant"] * 1.05
+        assert row["mx-tender"] <= row["tender"] * 1.05
+        # MXFP4++ <= MXFP4+ <= MXFP4 under the shared Table 7 scope.
+        assert row["mxfp4++"] <= row["mxfp4+"] * 1.02
+        assert row["mxfp4+"] <= row["mxfp4"] * 1.02
+        # MX+ always improves on the *per-tensor* originals.
+        assert row["mxfp4+"] <= min(row["ant"], row["tender"]) * 1.02
+    for m in ["opt-66b-sim", "llama-3.1-8b-sim"]:
+        row = table[m]
+        # Competitive with the best fine-grained competitor. (Deviation
+        # from the paper's clear MX+ win: our synthetic outliers are
+        # perfectly channel-stationary, the ideal case for adaptive-type
+        # and migration schemes — see EXPERIMENTS.md.)
+        assert row["mxfp4+"] <= min(row["mx-ant"], row["mx-olive"], row["mx-tender"]) * 1.25
+        assert row["mxfp4+"] < row["llm-fp4"]

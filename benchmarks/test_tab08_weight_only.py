@@ -1,0 +1,42 @@
+"""Table 8: weight-only quantization — AWQ with INT4/MXFP4/MXFP4+ weights
+under BF16 activations, and MXFP8 activations with MXFP4(+) weights."""
+
+from _util import print_table, run_once, save_result
+
+from repro.eval import perplexity
+from repro.nn.quantize import QuantContext
+from repro.quant import scheme_context
+
+MODELS = ["llama-3.1-8b-sim", "mistral-7b-sim"]
+
+
+def test_tab08(benchmark, zoo, wiki2):
+    def run():
+        out = {}
+        for m in MODELS:
+            model = zoo[m]
+            out[m] = {
+                "awq-int4": perplexity(model, wiki2, scheme_context("awq-int4")),
+                "awq-mxfp4": perplexity(model, wiki2, scheme_context("awq-mxfp4")),
+                "awq-mxfp4+": perplexity(model, wiki2, scheme_context("awq-mxfp4+")),
+                "a8-w-mxfp4": perplexity(
+                    model, wiki2, QuantContext.named("a:mxfp8,w:mxfp4")
+                ),
+                "a8-w-mxfp4+": perplexity(
+                    model, wiki2, QuantContext.named("a:mxfp8,w:mxfp4+")
+                ),
+            }
+        return out
+
+    table = run_once(benchmark, run)
+    save_result("tab08_weight_only", table)
+    for m in MODELS:
+        print_table(f"Table 8 ({m})", table[m])
+
+    for m in MODELS:
+        row = table[m]
+        # AWQ + MXFP4+ recovers the AWQ+MXFP4 degradation (the synergy:
+        # scaled-up salient weights become BMs and gain precision).
+        assert row["awq-mxfp4+"] <= row["awq-mxfp4"]
+        # With MXFP8 activations, MXFP4+ weights beat MXFP4 weights.
+        assert row["a8-w-mxfp4+"] <= row["a8-w-mxfp4"]

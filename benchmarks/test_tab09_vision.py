@@ -1,0 +1,44 @@
+"""Table 9: vision models (DeiT-sim / ResNet-sim) — top-1 accuracy under
+direct-cast MXFP4 vs MXFP4+ and after QA fine-tuning."""
+
+from _util import print_table, run_once, save_result
+
+from repro.data.images import make_images
+from repro.nn.quantize import QuantContext
+from repro.nn.vision import (
+    TinyCNN,
+    TinyViT,
+    classifier_accuracy,
+    qa_finetune,
+    train_classifier,
+)
+
+
+def test_tab09(benchmark):
+    def run():
+        data = make_images(768, 256, noise=0.75)
+        out = {}
+        for name, factory, steps in [("deit-sim", TinyViT, 80), ("resnet-sim", TinyCNN, 100)]:
+            model = train_classifier(factory(seed=0), data, steps=steps)
+            row = {
+                "fp32": classifier_accuracy(model, data),
+                "direct_mxfp4": classifier_accuracy(model, data, QuantContext.named("mxfp4")),
+                "direct_mxfp4+": classifier_accuracy(model, data, QuantContext.named("mxfp4+")),
+            }
+            qa4 = qa_finetune(model, data, QuantContext.named("mxfp4"), steps=40)
+            row["qat_mxfp4"] = classifier_accuracy(qa4, data, QuantContext.named("mxfp4"))
+            qa4p = qa_finetune(qa4, data, QuantContext.named("mxfp4+"), steps=40)
+            row["qat_mxfp4+"] = classifier_accuracy(qa4p, data, QuantContext.named("mxfp4+"))
+            out[name] = row
+        return out
+
+    table = run_once(benchmark, run)
+    save_result("tab09_vision", table)
+    print_table("Table 9: vision top-1 accuracy", table, "{:.1f}")
+
+    for name, row in table.items():
+        # Direct-cast: MXFP4+ recovers part of the MXFP4 drop.
+        assert row["direct_mxfp4+"] >= row["direct_mxfp4"]
+        # QA fine-tuning narrows the gap toward full precision.
+        assert row["qat_mxfp4"] >= row["direct_mxfp4"]
+        assert row["qat_mxfp4+"] >= row["direct_mxfp4"]

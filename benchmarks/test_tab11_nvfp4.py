@@ -1,0 +1,34 @@
+"""Table 11: NVFP4 vs NVFP4+ (extra BM precision) on harness tasks."""
+
+from _util import print_table, run_once, save_result
+
+from repro.eval import accuracy_table, perplexity_table
+
+MODELS = ["llama-3.1-8b-sim", "mistral-7b-sim"]
+
+
+def test_tab11(benchmark, zoo, harness_tasks, wiki2):
+    def run():
+        out = {}
+        for m in MODELS:
+            acc = accuracy_table(zoo[m], harness_tasks, ["nvfp4", "nvfp4+"])
+            ppl = perplexity_table(zoo[m], wiki2, ["nvfp4", "nvfp4+", "mxfp4+", "mxfp4"])
+            out[m] = {"accuracy": acc, "perplexity": ppl}
+        return out
+
+    table = run_once(benchmark, run)
+    save_result("tab11_nvfp4", table)
+    for m in MODELS:
+        print_table(f"Table 11 ({m}) accuracy", table[m]["accuracy"], "{:.1f}")
+        print_table(f"Table 11 ({m}) perplexity", table[m]["perplexity"])
+
+    for m in MODELS:
+        acc = table[m]["accuracy"]
+        ppl = table[m]["perplexity"]
+        avg4 = sum(acc["nvfp4"].values()) / len(acc["nvfp4"])
+        avg4p = sum(acc["nvfp4+"].values()) / len(acc["nvfp4+"])
+        # NVFP4+ >= NVFP4 on average accuracy and on perplexity.
+        assert avg4p >= avg4 - 0.5
+        assert ppl["nvfp4+"] <= ppl["nvfp4"] * 1.02
+        # NVFP4 sits between MXFP4 and MXFP4+ (fine blocks, no BM bits).
+        assert ppl["nvfp4"] <= ppl["mxfp4"] * 1.05

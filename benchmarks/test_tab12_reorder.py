@@ -1,0 +1,59 @@
+"""Table 12: MXFP4+ with channel reordering on the query/key projections."""
+
+import numpy as np
+from _util import print_table, run_once, save_result
+
+from repro.eval import accuracy_table, task_accuracy
+from repro.eval.reorder_calib import reorder_context
+from repro.nn.quantize import QuantContext
+
+MODELS = ["llama-3.1-8b-sim", "mistral-7b-sim"]
+
+
+def test_tab12(benchmark, zoo, harness_tasks, wiki2):
+    def run():
+        from repro.core.reorder import multi_outlier_block_rate
+        from repro.eval.reorder_calib import attention_inputs, calibrate_qk_permutations
+
+        out = {}
+        calib = wiki2.val_batch(4, 128)[:, :-1]  # ~10% calibration sample
+        for m in MODELS:
+            model = zoo[m]
+            base = QuantContext.named("mxfp4+")
+            reorder = reorder_context(model, calib, base)
+            acts = attention_inputs(model, calib)[0]
+            perm = calibrate_qk_permutations(model, calib)[0]
+            flat = acts.reshape(-1, acts.shape[-1])
+            out[m] = {
+                "mxfp4+": {
+                    t: task_accuracy(model, task, base)
+                    for t, task in harness_tasks.items()
+                },
+                "reorder": {
+                    t: task_accuracy(model, task, reorder)
+                    for t, task in harness_tasks.items()
+                },
+                "multi_outlier_rate": {
+                    "before": multi_outlier_block_rate(flat),
+                    "after": multi_outlier_block_rate(flat[:, perm]),
+                },
+            }
+        return out
+
+    table = run_once(benchmark, run)
+    save_result("tab12_reorder", table)
+    for m in MODELS:
+        print_table(f"Table 12 ({m})", table[m], "{:.2f}")
+
+    for m in MODELS:
+        rates = table[m]["multi_outlier_rate"]
+        # The mechanism the paper reports: reordering collapses the share
+        # of outlier blocks holding multiple outliers (22.5% -> 4.6% in
+        # their sampled query matrix).
+        assert rates["after"] <= rates["before"]
+        base_avg = np.mean(list(table[m]["mxfp4+"].values()))
+        re_avg = np.mean(list(table[m]["reorder"].values()))
+        # Accuracy: the paper sees consistent gains on 7B models; at our
+        # scale the deltas sit inside task noise, so we only require
+        # reordering not to hurt materially (see EXPERIMENTS.md).
+        assert re_avg >= base_avg - 3.5

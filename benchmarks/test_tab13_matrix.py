@@ -1,0 +1,27 @@
+"""Table 13: qualitative scheme-capability comparison."""
+
+from _util import run_once, save_result
+
+from repro.quant import SCHEME_MATRIX
+
+
+def test_tab13(benchmark):
+    def run():
+        return {
+            c.name: {
+                "compute_efficiency": c.compute_efficiency,
+                "standard_general": c.standard_general,
+                "high_accuracy": c.high_accuracy,
+            }
+            for c in SCHEME_MATRIX
+        }
+
+    table = run_once(benchmark, run)
+    save_result("tab13_matrix", table)
+    print(table)
+
+    # MX+ is the only row with all three properties.
+    full = [n for n, r in table.items() if all(r.values())]
+    assert full == ["MX+"]
+    assert table["AWQ"]["compute_efficiency"] is False
+    assert table["SmoothQuant"]["high_accuracy"] is False

@@ -1,0 +1,51 @@
+"""Outlier analysis: why low-bit MX fails and how MX+ fixes it
+(the Figure 4/5 analysis plus channel reordering from Section 8.3).
+
+Run:  python examples/outlier_analysis.py
+"""
+
+import numpy as np
+
+from repro.core import MXFP4, MXFP4Plus, mse, mse_decomposition
+from repro.core.reorder import (
+    channel_outlier_counts,
+    multi_outlier_block_rate,
+    reorder_permutation,
+)
+from repro.eval.reorder_calib import attention_inputs
+from repro.models.zoo import get_corpus, load_model
+
+model = load_model("llama-3.1-8b-sim", verbose=True)
+corpus = get_corpus("wiki2-sim", 240_000)
+
+acts = attention_inputs(model, corpus.val[:257])[0]
+flat = acts.reshape(-1, acts.shape[-1])
+
+# Figure 4a: channel-concentrated outliers.
+mags = np.abs(flat).mean(axis=0)
+top = np.argsort(-mags)[:6]
+print("channel magnitude heatmap (mean |x| per channel):")
+print("  top channels:", [(int(c), round(float(mags[c]), 2)) for c in top])
+print(f"  median channel magnitude: {np.median(mags):.3f}")
+
+# Figure 5: who contributes the quantization error?
+q4 = MXFP4()(flat)
+d = mse_decomposition(flat, q4)
+print(f"\nMXFP4 on these activations: MSE {mse(flat, q4):.5f}")
+print(f"  share from block-max elements:      {d.bm_share:.1%}")
+print(f"  share from largest-error elements:  {d.largest_error_share:.1%}")
+print(f"  BM is the largest-error element in  {d.bm_is_largest_error_rate:.1%} of blocks")
+
+qp = MXFP4Plus()(flat)
+dp = mse_decomposition(flat, qp)
+print(f"MXFP4+ on the same activations: MSE {mse(flat, qp):.5f} "
+      f"(BM share collapses to {dp.bm_share:.1%})")
+
+# Section 8.3: scatter co-located outliers with channel reordering.
+counts = channel_outlier_counts(flat)
+perm = reorder_permutation(counts)
+print(f"\nmulti-outlier block rate before reordering: {multi_outlier_block_rate(flat):.1%}")
+print(f"multi-outlier block rate after reordering:  {multi_outlier_block_rate(flat[:, perm]):.1%}")
+print(f"MXFP4+ MSE before reordering: {mse(flat, MXFP4Plus()(flat)):.5f}")
+xp = flat[:, perm]
+print(f"MXFP4+ MSE after reordering:  {mse(xp, MXFP4Plus()(xp)):.5f}")

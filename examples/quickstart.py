@@ -1,0 +1,40 @@
+"""Quickstart: quantize a tensor with MX and MX+ and inspect the formats.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import available_formats, get_format
+from repro.core import mse_decomposition
+from repro.core.layout import pack_mxplus
+
+# A realistic activation tile: Gaussian values with one outlier channel,
+# exactly the regime that breaks low-bit block formats (paper Section 3.2).
+rng = np.random.default_rng(0)
+x = rng.standard_normal((64, 256))
+x[:, 19] *= 50.0  # outlier channel
+
+print("available formats:", ", ".join(available_formats()))
+print()
+print(f"{'format':>10s} {'bits/elem':>9s} {'MSE':>12s} {'BM share of MSE':>16s}")
+for name in ["mxfp4", "mxfp4+", "mxfp4++", "mxfp6", "mxfp6+", "mxfp8", "nvfp4", "msfp12", "smx4"]:
+    fmt = get_format(name)
+    q = fmt(x)
+    err = float(np.mean((x - q) ** 2))
+    d = mse_decomposition(x, q)
+    print(f"{name:>10s} {fmt.bits_per_element():9.2f} {err:12.6f} {d.bm_share:15.1%}")
+
+# The paper's worked example (Figure 4/6): the block with the -9.84 outlier.
+block = np.array([-0.27, -0.19, 0.99, -0.20, -9.84, -0.39])
+print("\nFigure 6 worked example:")
+print("  BF16   ", block.tolist())
+print("  MXFP4  ", get_format("mxfp4")(block).tolist(), "(outlier -9.84 -> -8.0)")
+print("  MXFP4+ ", get_format("mxfp4+")(block).tolist(), "(outlier -9.84 -> -10.0)")
+print("  MXFP4++", get_format("mxfp4++")(block).tolist(), "(NBMs rescued too)")
+
+# Bit-exact storage: MX+ adds one sideband byte (BM index) per block.
+fmt = get_format("mxfp4+")
+packed = pack_mxplus(fmt, fmt.encode(x))
+print(f"\npacked {x.size} elements into {packed.total_bytes()} bytes "
+      f"({packed.total_bytes() * 8 / x.size:.2f} bits/element)")

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The offline environment lacks the ``wheel`` package, which the PEP 517
+editable-install path requires. ``python setup.py develop`` (or
+``pip install -e . --no-build-isolation`` where wheel is available) installs
+the package; configuration lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,32 @@
+"""repro — reproduction of "MX+: Pushing the Limits of Microscaling Formats
+for Efficient Large Language Model Serving" (MICRO 2025).
+
+Quickstart::
+
+    import numpy as np
+    from repro import get_format
+
+    x = np.random.randn(4, 128)
+    mxfp4 = get_format("mxfp4")
+    mxfp4_plus = get_format("mxfp4+")
+    print(np.mean((x - mxfp4(x)) ** 2), np.mean((x - mxfp4_plus(x)) ** 2))
+
+Subpackages
+-----------
+``repro.core``
+    The format library (MX, MX+, MX++, NVFP4, MSFP, SMX, MXINT, ...).
+``repro.nn`` / ``repro.data`` / ``repro.models``
+    Numpy DNN substrate, synthetic datasets, and the scaled-down model zoo.
+``repro.eval``
+    Perplexity and task-accuracy harness under quantized inference.
+``repro.quant``
+    Baseline quantization schemes (SmoothQuant, QuaRot, Atom, AWQ, ...).
+``repro.gpu``
+    GPU performance substrate: Tensor-Core timing, serving simulator,
+    hardware-integration model, area/power.
+"""
+
+from .core import available_formats, get_format
+
+__version__ = "1.0.0"
+__all__ = ["get_format", "available_formats", "__version__"]

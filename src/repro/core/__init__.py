@@ -1,0 +1,76 @@
+"""Core format library: MX, MX+, MX++, and the industry BFP baselines."""
+
+from .blocks import BlockFormat, from_blocks, to_blocks
+from .elem import E2M1, E2M3, E3M2, E4M3, E5M2, INT8_MX, FloatCodec, IntCodec
+from .intquant import IntQuantizer, quantize_int_groupwise, quantize_int_tensor
+from .metrics import mse, mse_decomposition, outlier_mask_3sigma, sqnr_db
+from .msfp import MSFP12, MSFP14, MSFP16, MSFPFormat
+from .mx import MXFP4, MXFP6, MXFP8, MXINT8, MXEncoded, MXFormat
+from .mxint_plus import MXINT4, MXINT4Plus, MXINT8PlusFormat, MXIntFormat, MXIntPlusFormat
+from .mxplus import MXFP4Plus, MXFP6Plus, MXFP8Plus, MXPlusEncoded, MXPlusFormat, decompose_bm
+from .mxpp import MXFP4PlusPlus, MXPPFormat
+from .nvfp4 import NVFP4, NVFP4Format, NVFP4Plus, NVFP4PlusFormat
+from .registry import available_formats, get_format, register_format
+from .reorder import apply_reorder, channel_outlier_counts, reorder_permutation
+from .smx import SMX4, SMX6, SMX9, SMXFormat
+from .topk import TopKPromoteFormat, promoted_fraction
+
+__all__ = [
+    "BlockFormat",
+    "to_blocks",
+    "from_blocks",
+    "FloatCodec",
+    "IntCodec",
+    "E2M1",
+    "E2M3",
+    "E3M2",
+    "E4M3",
+    "E5M2",
+    "INT8_MX",
+    "MXFormat",
+    "MXEncoded",
+    "MXFP4",
+    "MXFP6",
+    "MXFP8",
+    "MXINT8",
+    "MXPlusFormat",
+    "MXPlusEncoded",
+    "MXFP4Plus",
+    "MXFP6Plus",
+    "MXFP8Plus",
+    "decompose_bm",
+    "MXPPFormat",
+    "MXFP4PlusPlus",
+    "MXIntFormat",
+    "MXIntPlusFormat",
+    "MXINT4",
+    "MXINT4Plus",
+    "MXINT8PlusFormat",
+    "NVFP4",
+    "NVFP4Plus",
+    "NVFP4Format",
+    "NVFP4PlusFormat",
+    "MSFPFormat",
+    "MSFP12",
+    "MSFP14",
+    "MSFP16",
+    "SMXFormat",
+    "SMX4",
+    "SMX6",
+    "SMX9",
+    "IntQuantizer",
+    "quantize_int_tensor",
+    "quantize_int_groupwise",
+    "TopKPromoteFormat",
+    "promoted_fraction",
+    "mse",
+    "sqnr_db",
+    "mse_decomposition",
+    "outlier_mask_3sigma",
+    "get_format",
+    "available_formats",
+    "register_format",
+    "apply_reorder",
+    "channel_outlier_counts",
+    "reorder_permutation",
+]

@@ -1,0 +1,62 @@
+"""Uniform symmetric integer quantization (the Section 2 baseline).
+
+Implements the classic scheme: ``s = max|x| / (2**(b-1) - 1)``,
+``x_q = round(x / s)``, at per-tensor, per-channel, or per-group
+granularity. Used by the baseline quantization schemes of Table 7
+(SmoothQuant, QuaRot, Atom, Tender, AWQ) and as a standalone format.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .blocks import BlockFormat, from_blocks, to_blocks
+from .elem import round_half_even
+
+__all__ = ["IntQuantizer", "quantize_int_tensor", "quantize_int_groupwise"]
+
+
+def _fake_quant(x: np.ndarray, scale: np.ndarray, qmax: int) -> np.ndarray:
+    safe = np.where(scale == 0, 1.0, scale)
+    q = np.clip(round_half_even(x / safe), -qmax, qmax)
+    return np.where(scale == 0, 0.0, q * safe)
+
+
+def quantize_int_tensor(x: np.ndarray, bits: int) -> np.ndarray:
+    """Per-tensor symmetric integer fake-quantization."""
+    x = np.asarray(x, dtype=np.float64)
+    qmax = (1 << (bits - 1)) - 1
+    scale = np.max(np.abs(x)) / qmax
+    return _fake_quant(x, scale, qmax)
+
+
+def quantize_int_groupwise(x: np.ndarray, bits: int, group: int, axis: int = -1) -> np.ndarray:
+    """Group-wise symmetric integer fake-quantization along ``axis``.
+
+    ``group`` elements along the axis share one floating-point scale
+    (``group = -1`` means the whole axis, i.e. per-channel/per-token).
+    """
+    x = np.asarray(x, dtype=np.float64)
+    qmax = (1 << (bits - 1)) - 1
+    if group == -1:
+        group = x.shape[axis]
+    blocked = to_blocks(x, group, axis)
+    data = blocked.data
+    scale = np.max(np.abs(data), axis=-1, keepdims=True) / qmax
+    return from_blocks(blocked, _fake_quant(data, scale, qmax))
+
+
+class IntQuantizer(BlockFormat):
+    """Group-wise INT-b as a :class:`BlockFormat` (floating-point scales)."""
+
+    def __init__(self, bits: int, group: int = 128, name: str | None = None):
+        self.bits = bits
+        self.block_size = group
+        self.name = name or f"int{bits}-g{group}"
+
+    def quantize_dequantize(self, x: np.ndarray, axis: int = -1) -> np.ndarray:
+        return quantize_int_groupwise(x, self.bits, self.block_size, axis)
+
+    def bits_per_element(self) -> float:
+        # 16-bit scale per group is typical.
+        return self.bits + 16.0 / self.block_size

@@ -1,0 +1,95 @@
+"""Quantization-error metrics and the BM/MSE decomposition (Figures 4-5).
+
+``mse_decomposition`` reproduces the paper's Figure 5 analysis: what share
+of a tensor's total quantization MSE comes from the block-max elements vs.
+from the per-block largest-error elements.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .blocks import to_blocks
+
+__all__ = [
+    "mse",
+    "sqnr_db",
+    "MSEDecomposition",
+    "mse_decomposition",
+    "outlier_mask_3sigma",
+    "block_outlier_counts",
+]
+
+
+def mse(x: np.ndarray, q: np.ndarray) -> float:
+    """Mean squared quantization error."""
+    x = np.asarray(x, dtype=np.float64)
+    q = np.asarray(q, dtype=np.float64)
+    return float(np.mean((x - q) ** 2))
+
+
+def sqnr_db(x: np.ndarray, q: np.ndarray) -> float:
+    """Signal-to-quantization-noise ratio in dB (higher is better)."""
+    x = np.asarray(x, dtype=np.float64)
+    err = mse(x, q)
+    sig = float(np.mean(x**2))
+    if err == 0:
+        return float("inf")
+    return 10.0 * np.log10(sig / err)
+
+
+@dataclass
+class MSEDecomposition:
+    """Share of total MSE attributable to specific per-block elements."""
+
+    total_mse: float
+    bm_share: float  # fraction from block-max elements
+    largest_error_share: float  # fraction from per-block largest-error elements
+    bm_is_largest_error_rate: float  # how often the BM *is* the largest-error elem
+
+
+def mse_decomposition(
+    x: np.ndarray, q: np.ndarray, block_size: int = 32, axis: int = -1
+) -> MSEDecomposition:
+    """Decompose quantization MSE per Figure 5.
+
+    Both ``x`` and its quantized version ``q`` are blocked identically; per
+    block we attribute the squared error of (a) the max-magnitude element
+    and (b) the largest-error element to the respective totals.
+    """
+    bx = to_blocks(x, block_size, axis).data
+    bq = to_blocks(q, block_size, axis).data
+    err2 = (bx - bq) ** 2
+    total = float(np.sum(err2))
+    if total == 0:
+        return MSEDecomposition(0.0, 0.0, 0.0, 1.0)
+
+    bm_idx = np.argmax(np.abs(bx), axis=-1)[..., None]
+    le_idx = np.argmax(err2, axis=-1)[..., None]
+    bm_err = np.take_along_axis(err2, bm_idx, axis=-1)
+    le_err = np.take_along_axis(err2, le_idx, axis=-1)
+    return MSEDecomposition(
+        total_mse=total / err2.size,
+        bm_share=float(np.sum(bm_err) / total),
+        largest_error_share=float(np.sum(le_err) / total),
+        bm_is_largest_error_rate=float(np.mean(bm_idx == le_idx)),
+    )
+
+
+def outlier_mask_3sigma(x: np.ndarray) -> np.ndarray:
+    """Boolean mask of outliers per the 3-sigma rule the paper uses (Sec 8.3)."""
+    x = np.asarray(x, dtype=np.float64)
+    mu = float(np.mean(x))
+    sigma = float(np.std(x))
+    if sigma == 0:
+        return np.zeros_like(x, dtype=bool)
+    return np.abs(x - mu) > 3.0 * sigma
+
+
+def block_outlier_counts(x: np.ndarray, block_size: int = 32, axis: int = -1) -> np.ndarray:
+    """Per-block count of 3-sigma outliers (for the Fig. 14 analysis)."""
+    mask = outlier_mask_3sigma(x)
+    blocked = to_blocks(mask.astype(np.float64), block_size, axis)
+    return np.sum(blocked.data, axis=-1).astype(np.int64)

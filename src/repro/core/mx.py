@@ -1,0 +1,97 @@
+"""OCP Microscaling (MX) quantization: MXFP4/MXFP6/MXFP8 and MXINT8.
+
+Implements Eq. (1) of the paper:
+
+    shared_exp = max(floor(log2(|x|))) - e_max,     X = 2**shared_exp
+
+with the shared exponent clamped to the E8M0 range ``[-127, 127]`` and
+elements converted with saturation, per the OCP MX specification v1.0.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .blocks import BlockFormat, from_blocks, to_blocks
+from .elem import E2M1, E2M3, E3M2, E4M3, E5M2, INT8_MX, FloatCodec, IntCodec, floor_log2
+from .scale import E8M0_MAX, E8M0_MIN
+
+__all__ = ["MXEncoded", "MXFormat", "MXFP4", "MXFP6", "MXFP6_E3M2", "MXFP8", "MXFP8_E5M2", "MXINT8"]
+
+
+@dataclass
+class MXEncoded:
+    """Structured MX encoding: per-block shared exponents + element values.
+
+    ``elem_values`` are the *scaled* element values (already divided by the
+    shared scale), exactly representable in the element data type.
+    """
+
+    shared_exp: np.ndarray  # (..., nblocks) int32
+    elem_values: np.ndarray  # (..., nblocks, k) float64, scaled domain
+    blocked: object  # Blocked bookkeeping for decode
+
+
+class MXFormat(BlockFormat):
+    """An MX-compliant format: one element codec + E8M0 shared scale."""
+
+    def __init__(self, elem: FloatCodec | IntCodec, block_size: int = 32, name: str | None = None):
+        self.elem = elem
+        self.block_size = block_size
+        self.name = name or f"mx-{elem.name}"
+
+    # ------------------------------------------------------------------
+    def _shared_exp(self, blocks: np.ndarray) -> np.ndarray:
+        """Per-block shared exponent per Eq. (1), clamped to E8M0 range."""
+        amax = np.max(np.abs(blocks), axis=-1)
+        exp = floor_log2(amax) - self.elem.emax
+        # All-zero blocks get the minimum exponent; their elements quantize
+        # to zero regardless of scale.
+        exp = np.where(amax == 0, E8M0_MIN, exp)
+        return np.clip(exp, E8M0_MIN, E8M0_MAX).astype(np.int32)
+
+    def encode(self, x: np.ndarray, axis: int = -1) -> MXEncoded:
+        blocked = to_blocks(x, self.block_size, axis)
+        shared_exp = self._shared_exp(blocked.data)
+        scale = np.exp2(shared_exp.astype(np.float64))[..., None]
+        elem_values = self.elem.quantize(blocked.data / scale)
+        return MXEncoded(shared_exp=shared_exp, elem_values=elem_values, blocked=blocked)
+
+    def decode(self, enc: MXEncoded) -> np.ndarray:
+        scale = np.exp2(enc.shared_exp.astype(np.float64))[..., None]
+        return from_blocks(enc.blocked, enc.elem_values * scale)
+
+    def quantize_dequantize(self, x: np.ndarray, axis: int = -1) -> np.ndarray:
+        return self.decode(self.encode(x, axis))
+
+    def bits_per_element(self) -> float:
+        return self.elem.bits + 8.0 / self.block_size
+
+
+def MXFP4() -> MXFormat:
+    """MXFP4: E2M1 elements, block 32, E8M0 scale (avg 4.25 bits/elem)."""
+    return MXFormat(E2M1, name="mxfp4")
+
+
+def MXFP6() -> MXFormat:
+    """MXFP6 (E2M3) — the higher-mantissa 6-bit variant the paper uses."""
+    return MXFormat(E2M3, name="mxfp6")
+
+
+def MXFP6_E3M2() -> MXFormat:
+    return MXFormat(E3M2, name="mxfp6-e3m2")
+
+
+def MXFP8() -> MXFormat:
+    """MXFP8 (E4M3) — the higher-mantissa 8-bit variant the paper uses."""
+    return MXFormat(E4M3, name="mxfp8")
+
+
+def MXFP8_E5M2() -> MXFormat:
+    return MXFormat(E5M2, name="mxfp8-e5m2")
+
+
+def MXINT8() -> MXFormat:
+    return MXFormat(INT8_MX, name="mxint8")

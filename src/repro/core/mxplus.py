@@ -1,0 +1,204 @@
+"""MX+ — the paper's contribution (Section 4).
+
+The block-max (BM) element of an MX block always carries a private exponent
+equal to ``e_max`` of the element data type (that is how the shared scale is
+chosen, Eq. 1), so its exponent field carries no information. MX+
+*repurposes* it as extra mantissa bits:
+
+* NBM (non-block-max) elements: standard MX element encoding.
+* BM element: ``(-1)^s * 2**e_max * 1.m`` with ``mbits + ebits`` stored
+  mantissa bits (E0M3/E0M5/E0M7 for FP4/FP6/FP8), Eq. (2).
+* Per block, one extra byte stores the 5-bit BM index; 3 bits are reserved
+  (MX++ uses them for the NBM scale delta). Average width grows by
+  ``8 / 32 = 0.25`` bits per element.
+* Flush-to-zero: if ``floor(log2(BM)) <= -127 + e_max`` the whole block is
+  flushed to zero and the biased shared exponent 0 is reserved to flag it
+  (Section 4.1).
+
+The ``decompose_bm`` helper implements Eq. (3): splitting the BM into two
+element-type-representable halves ``BM_H + BM_L`` for the software
+integration path on MX-native Tensor Cores (Section 5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .blocks import BlockFormat, from_blocks, to_blocks
+from .elem import E2M1, E2M3, E4M3, FloatCodec, floor_log2, round_half_even
+from .scale import E8M0_MAX, E8M0_MIN, ZERO_BLOCK_SENTINEL
+
+__all__ = [
+    "MXPlusEncoded",
+    "MXPlusFormat",
+    "MXFP4Plus",
+    "MXFP6Plus",
+    "MXFP8Plus",
+    "decompose_bm",
+]
+
+
+@dataclass
+class MXPlusEncoded:
+    """Structured MX+ encoding.
+
+    ``elem_values`` holds scaled NBM values; the BM slot inside it holds the
+    *extended-precision* scaled BM value (``2**e_max * 1.m``). ``bm_index``
+    is the per-block position of the BM element; ``reserved`` carries the 3
+    reserved bits (zero for MX+, the scale delta for MX++). Flushed blocks
+    have ``shared_exp == ZERO_BLOCK_SENTINEL`` and all-zero elements.
+    """
+
+    shared_exp: np.ndarray  # (..., nblocks) int32 (sentinel => zero block)
+    elem_values: np.ndarray  # (..., nblocks, k) scaled values
+    bm_index: np.ndarray  # (..., nblocks) int32
+    reserved: np.ndarray  # (..., nblocks) int32 in [0, 7]
+    nbm_shared_exp: np.ndarray  # (..., nblocks) int32; == shared_exp for MX+
+    blocked: object
+
+
+class MXPlusFormat(BlockFormat):
+    """MX+ extension of an MXFP format (Section 4.1-4.2)."""
+
+    def __init__(self, elem: FloatCodec, block_size: int = 32, name: str | None = None):
+        if not isinstance(elem, FloatCodec):
+            raise TypeError("MX+ requires a floating-point element type; "
+                            "see mxint_plus for the MXINT variant")
+        self.elem = elem
+        self.block_size = block_size
+        self.name = name or f"mx-{elem.name}+"
+
+    # number of stored mantissa bits for the BM element (exponent field
+    # repurposed): e.g. 3 for MXFP4+ (E0M3), 5 for MXFP6+, 7 for MXFP8+.
+    @property
+    def bm_mbits(self) -> int:
+        return self.elem.mbits + self.elem.ebits
+
+    # ------------------------------------------------------------------
+    def encode(self, x: np.ndarray, axis: int = -1) -> MXPlusEncoded:
+        blocked = to_blocks(x, self.block_size, axis)
+        data = blocked.data
+        absd = np.abs(data)
+
+        bm_index = np.argmax(absd, axis=-1).astype(np.int32)  # first max wins
+        amax = np.take_along_axis(absd, bm_index[..., None].astype(np.int64), axis=-1)[..., 0]
+        e_bm = floor_log2(amax)
+
+        flush = e_bm <= (-127 + self.elem.emax)  # includes all-zero blocks
+        shared_exp = np.clip(e_bm - self.elem.emax, E8M0_MIN, E8M0_MAX).astype(np.int32)
+        shared_exp = np.where(flush, ZERO_BLOCK_SENTINEL, shared_exp)
+
+        safe_exp = np.where(flush, 0, shared_exp).astype(np.float64)
+        scale = np.exp2(safe_exp)[..., None]
+
+        # NBM elements: standard MX quantization against the shared scale.
+        elem_values = self.elem.quantize(data / scale)
+
+        # BM element: extended mantissa anchored at 2**e_max (Eq. 2).
+        bm_signed = np.take_along_axis(data, bm_index[..., None].astype(np.int64), axis=-1)[..., 0]
+        bm_scaled = self._quantize_bm(bm_signed / np.exp2(safe_exp))
+        np.put_along_axis(
+            elem_values, bm_index[..., None].astype(np.int64), bm_scaled[..., None], axis=-1
+        )
+
+        zero = np.zeros_like(elem_values)
+        elem_values = np.where(flush[..., None], zero, elem_values)
+
+        return MXPlusEncoded(
+            shared_exp=shared_exp,
+            elem_values=elem_values,
+            bm_index=bm_index,
+            reserved=np.zeros_like(bm_index),
+            nbm_shared_exp=shared_exp,
+            blocked=blocked,
+        )
+
+    def _quantize_bm(self, scaled_bm: np.ndarray) -> np.ndarray:
+        """Quantize the scaled BM to ``(-1)^s * 2**e_max * 1.m`` form.
+
+        The fraction has ``bm_mbits`` bits. Fractions that would round up to
+        2.0 saturate at the top code (the paper keeps the shared scale
+        untouched, so bumping the exponent is not an option).
+        """
+        sign = np.where(scaled_bm < 0, -1.0, 1.0)
+        anchor = 2.0**self.elem.emax
+        f = np.abs(scaled_bm) / anchor  # in [1, 2) unless the scale clamped
+        steps = float(1 << self.bm_mbits)
+        code = round_half_even((f - 1.0) * steps)
+        code = np.clip(code, 0, steps - 1)
+        return sign * anchor * (1.0 + code / steps)
+
+    def decode(self, enc: MXPlusEncoded) -> np.ndarray:
+        flush = enc.shared_exp == ZERO_BLOCK_SENTINEL
+        safe_exp = np.where(flush, 0, enc.shared_exp).astype(np.float64)
+        nbm_exp = np.where(flush, 0, enc.nbm_shared_exp).astype(np.float64)
+
+        k = enc.elem_values.shape[-1]
+        is_bm = (
+            np.arange(k, dtype=np.int32) == enc.bm_index[..., None]
+        )
+        scale = np.where(is_bm, np.exp2(safe_exp)[..., None], np.exp2(nbm_exp)[..., None])
+        out = enc.elem_values * scale
+        out = np.where(flush[..., None], 0.0, out)
+        return from_blocks(enc.blocked, out)
+
+    def quantize_dequantize(self, x: np.ndarray, axis: int = -1) -> np.ndarray:
+        return self.decode(self.encode(x, axis))
+
+    def bits_per_element(self) -> float:
+        # element bits + shared scale byte + BM-index byte per block
+        return self.elem.bits + 16.0 / self.block_size
+
+
+def decompose_bm(
+    bm_value: np.ndarray, shared_exp: np.ndarray, elem: FloatCodec
+) -> tuple[np.ndarray, np.ndarray]:
+    """Split dequantized BM values into ``BM_H + BM_L`` per Eq. (3).
+
+    Both halves are exactly representable in the element data type after
+    dividing by the shared scale, so an MX-native Tensor Core can process
+    them with two MMA operations (the second one sparse). Returns
+    ``(bm_h, bm_l)`` in the *unscaled* (real-value) domain.
+
+    Only valid for element types whose full mantissa range is encodable
+    (E2M1, E2M3): E4M3 reserves its all-ones pattern for NaN, so the high
+    half with mantissa 111 would be unrepresentable. The paper's software
+    integration targets the FP4/FP6 paths; MXFP8+ relies on the hardware
+    path (Section 6) instead.
+    """
+    if elem.nan_encoding:
+        raise ValueError(
+            f"Eq. (3) BM decomposition is undefined for {elem.name}: the "
+            "NaN-reserved top code makes the high half unrepresentable"
+        )
+    shared_exp = np.asarray(shared_exp, dtype=np.float64)
+    scale = np.exp2(shared_exp)
+    scaled = np.asarray(bm_value, dtype=np.float64) / scale
+    sign = np.where(scaled < 0, -1.0, 1.0)
+    anchor = 2.0**elem.emax
+    mext = elem.mbits + elem.ebits
+    # um = 1.b1..b_mext with the leading one explicit (x87-style)
+    um = np.abs(scaled) / anchor * (1 << mext)  # integer in [2^mext, 2^(mext+1))
+    um = round_half_even(um)
+    hi_codes = np.floor(um / (1 << elem.ebits))  # top 1+mbits bits
+    lo_codes = um - hi_codes * (1 << elem.ebits)  # bottom ebits bits
+    bm_h = sign * anchor * hi_codes / (1 << elem.mbits) * scale
+    bm_l = sign * 2.0 ** (elem.emax - elem.mbits - 1) * lo_codes / (1 << (elem.ebits - 1)) * scale
+    return bm_h, bm_l
+
+
+def MXFP4Plus() -> MXPlusFormat:
+    """MXFP4+: E2M1 NBMs, E0M3 BM (effective E2M3), avg 4.5 bits/elem."""
+    return MXPlusFormat(E2M1, name="mxfp4+")
+
+
+def MXFP6Plus() -> MXPlusFormat:
+    """MXFP6+: E2M3 NBMs, E0M5 BM (effective E2M5)."""
+    return MXPlusFormat(E2M3, name="mxfp6+")
+
+
+def MXFP8Plus() -> MXPlusFormat:
+    """MXFP8+: E4M3 NBMs, E0M7 BM (effective E4M7)."""
+    return MXPlusFormat(E4M3, name="mxfp8+")

@@ -1,0 +1,87 @@
+"""MX++ — decoupling the NBM shared scale via the reserved bits (Section 4.3).
+
+MX++ keeps the BM exactly as in MX+ but lets the NBM elements use a smaller
+shared scale so they land on a finer quantization grid. The NBM shared
+exponent is
+
+    e = max2(floor(log2(|x|))) - e_max + 1
+
+where ``max2`` is the second-largest exponent in the block (the ``+1``
+offset prevents the largest NBM from saturating after scaling — the paper's
+0.99 -> 7.92 example). The final exponent is
+
+    shared_exp_new = CLIP(e, {shared_exp - 7, shared_exp})
+
+so the delta from the BM's shared exponent fits the 3 reserved bits.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .blocks import from_blocks
+from .elem import E2M1, FloatCodec, floor_log2
+from .mxplus import MXPlusEncoded, MXPlusFormat
+from .scale import ZERO_BLOCK_SENTINEL
+
+__all__ = ["MXPPFormat", "MXFP4PlusPlus", "MXFP6PlusPlus", "MXFP8PlusPlus"]
+
+
+class MXPPFormat(MXPlusFormat):
+    """MX++ format (MX+ plus decoupled NBM scale)."""
+
+    def __init__(self, elem: FloatCodec, block_size: int = 32, name: str | None = None):
+        super().__init__(elem, block_size, name or f"mx-{elem.name}++")
+
+    def encode(self, x: np.ndarray, axis: int = -1) -> MXPlusEncoded:
+        enc = super().encode(x, axis)
+        data = enc.blocked.data
+        absd = np.abs(data)
+        flush = enc.shared_exp == ZERO_BLOCK_SENTINEL
+
+        # Exponent of the largest NBM: mask out the BM position.
+        k = data.shape[-1]
+        is_bm = np.arange(k, dtype=np.int32) == enc.bm_index[..., None]
+        nbm_abs = np.where(is_bm, 0.0, absd)
+        nbm_amax = np.max(nbm_abs, axis=-1)
+        e2 = floor_log2(nbm_amax)
+
+        e = e2 - self.elem.emax + 1
+        shared = np.where(flush, 0, enc.shared_exp)
+        new_exp = np.clip(e, shared - 7, shared)
+        # Blocks whose NBMs are all zero keep the BM scale (delta 0).
+        new_exp = np.where(nbm_amax == 0, shared, new_exp)
+        delta = (shared - new_exp).astype(np.int32)
+
+        # Requantize NBMs against the finer scale, keeping the BM slot.
+        nbm_scale = np.exp2(new_exp.astype(np.float64))[..., None]
+        requant = self.elem.quantize(data / nbm_scale)
+        bm_vals = np.take_along_axis(
+            enc.elem_values, enc.bm_index[..., None].astype(np.int64), axis=-1
+        )
+        elem_values = np.where(is_bm, 0.0, requant)
+        np.put_along_axis(elem_values, enc.bm_index[..., None].astype(np.int64), bm_vals, axis=-1)
+        elem_values = np.where(flush[..., None], 0.0, elem_values)
+
+        enc.elem_values = elem_values
+        enc.reserved = np.where(flush, 0, delta).astype(np.int32)
+        enc.nbm_shared_exp = np.where(
+            flush, ZERO_BLOCK_SENTINEL, new_exp.astype(np.int32)
+        )
+        return enc
+
+
+def MXFP4PlusPlus() -> MXPPFormat:
+    return MXPPFormat(E2M1, name="mxfp4++")
+
+
+def MXFP6PlusPlus() -> MXPPFormat:
+    from .elem import E2M3
+
+    return MXPPFormat(E2M3, name="mxfp6++")
+
+
+def MXFP8PlusPlus() -> MXPPFormat:
+    from .elem import E4M3
+
+    return MXPPFormat(E4M3, name="mxfp8++")

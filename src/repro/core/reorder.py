@@ -1,0 +1,76 @@
+"""Channel reordering to scatter co-located outliers (Section 8.3).
+
+Activation outliers concentrate in a few channels (Fig. 4a). When two
+outlier channels land in the same 32-element MX block only one can be the
+BM, so MX+ helps less. The paper's remedy: sort channels by outlier count,
+place the heaviest ones one per block, then fill the remaining slots with
+the lower half of the sorted order (descending) followed by the upper half.
+
+The permutation is applied identically to activation columns and to the
+matching weight rows, so the matmul result is mathematically unchanged.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .metrics import outlier_mask_3sigma
+
+__all__ = ["channel_outlier_counts", "reorder_permutation", "apply_reorder", "multi_outlier_block_rate"]
+
+
+def channel_outlier_counts(x: np.ndarray) -> np.ndarray:
+    """Count 3-sigma outliers per channel (last axis) of an activation."""
+    x = np.asarray(x, dtype=np.float64)
+    mask = outlier_mask_3sigma(x)
+    flat = mask.reshape(-1, x.shape[-1])
+    return np.sum(flat, axis=0).astype(np.int64)
+
+
+def reorder_permutation(counts: np.ndarray, block_size: int = 32) -> np.ndarray:
+    """Build the channel permutation described in Section 8.3.
+
+    Returns ``perm`` such that ``x[..., perm]`` scatters high-outlier
+    channels one per block. Channels with the most outliers occupy positions
+    ``0, block_size, 2*block_size, ...``; the rest of the sorted order is
+    split in half and the lower half (next-most outliers) fills remaining
+    slots in descending order, followed by the upper half.
+    """
+    counts = np.asarray(counts)
+    n = counts.shape[0]
+    order = np.argsort(-counts, kind="stable")  # descending outlier count
+    n_anchors = (n + block_size - 1) // block_size
+    anchors = order[:n_anchors]
+    rest = order[n_anchors:]
+    half = len(rest) // 2
+    lower, upper = rest[:half], rest[half:]
+    filler = np.concatenate([lower, upper])
+
+    perm = np.empty(n, dtype=np.int64)
+    slots = np.ones(n, dtype=bool)
+    anchor_pos = np.arange(n_anchors) * block_size
+    perm[anchor_pos] = anchors
+    slots[anchor_pos] = False
+    perm[slots] = filler
+    return perm
+
+
+def apply_reorder(
+    x: np.ndarray, weight: np.ndarray, perm: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Permute activation columns and weight input-rows consistently.
+
+    ``x @ weight == x[..., perm] @ weight[perm, :]`` exactly.
+    """
+    return x[..., perm], weight[perm, :]
+
+
+def multi_outlier_block_rate(x: np.ndarray, block_size: int = 32) -> float:
+    """Share of outlier-containing blocks holding >1 outlier (Sec. 8.3 stat)."""
+    from .metrics import block_outlier_counts
+
+    counts = block_outlier_counts(x, block_size)
+    has = counts > 0
+    if not np.any(has):
+        return 0.0
+    return float(np.sum(counts > 1) / np.sum(has))

@@ -1,0 +1,76 @@
+"""Shared Microexponents (SMX) — two-level scaled BFP (ISCA'23).
+
+A group of ``k1 = 16`` elements shares an 8-bit first-level exponent; pairs
+of elements (``k2 = 2``) within the group share a one-bit *microexponent*
+that shifts the pair's effective scale down by at most one. Elements are
+sign + mantissa with no implicit leading bit, as in MSFP.
+
+Average bits per element = (1 + mbits) + 8/16 + 1/2:
+
+* SMX4: 2 mantissa bits  -> 4.0 bits/elem
+* SMX6: 4 mantissa bits  -> 6.0 bits/elem
+* SMX9: 7 mantissa bits  -> 9.0 bits/elem
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .blocks import BlockFormat, from_blocks, to_blocks
+from .elem import floor_log2, round_half_even
+
+__all__ = ["SMXFormat", "SMX4", "SMX6", "SMX9"]
+
+
+class SMXFormat(BlockFormat):
+    def __init__(
+        self,
+        mantissa_bits: int,
+        block_size: int = 16,
+        subgroup: int = 2,
+        name: str | None = None,
+    ):
+        if block_size % subgroup:
+            raise ValueError("subgroup size must divide block size")
+        self.mantissa_bits = mantissa_bits
+        self.block_size = block_size
+        self.subgroup = subgroup
+        self.name = name or f"smx{mantissa_bits + 2}"
+
+    def quantize_dequantize(self, x: np.ndarray, axis: int = -1) -> np.ndarray:
+        blocked = to_blocks(x, self.block_size, axis)
+        data = blocked.data
+        amax = np.max(np.abs(data), axis=-1)
+        shared_exp = np.clip(floor_log2(amax), -127, 127)
+
+        # Per-pair microexponent: shift down by one when the whole pair
+        # has headroom (pair max exponent strictly below the shared one).
+        pair_shape = data.shape[:-1] + (self.block_size // self.subgroup, self.subgroup)
+        pairs = data.reshape(pair_shape)
+        pair_amax = np.max(np.abs(pairs), axis=-1)
+        pair_exp = floor_log2(pair_amax)
+        micro = np.clip(shared_exp[..., None] - pair_exp, 0, 1)
+        micro = np.where(pair_amax == 0, 1, micro)  # all-zero pair: harmless
+
+        eff_exp = shared_exp[..., None] - micro
+        ulp = np.exp2(eff_exp.astype(np.float64) + 1 - self.mantissa_bits)[..., None]
+        max_code = (1 << self.mantissa_bits) - 1
+        q = np.clip(round_half_even(pairs / ulp), -max_code, max_code)
+        out = (q * ulp).reshape(data.shape)
+        out = np.where(amax[..., None] == 0, 0.0, out)
+        return from_blocks(blocked, out)
+
+    def bits_per_element(self) -> float:
+        return (1 + self.mantissa_bits) + 8.0 / self.block_size + 1.0 / self.subgroup
+
+
+def SMX4() -> SMXFormat:
+    return SMXFormat(2, name="smx4")
+
+
+def SMX6() -> SMXFormat:
+    return SMXFormat(4, name="smx6")
+
+
+def SMX9() -> SMXFormat:
+    return SMXFormat(7, name="smx9")

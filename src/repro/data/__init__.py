@@ -1,0 +1,15 @@
+"""Synthetic data substrates: corpora, MCQ tasks, images."""
+
+from .corpus import DATASETS, Corpus, CorpusSpec, make_corpus
+from .tasks import TASKS, MCQTask, TaskSpec, make_task
+
+__all__ = [
+    "Corpus",
+    "CorpusSpec",
+    "make_corpus",
+    "DATASETS",
+    "MCQTask",
+    "TaskSpec",
+    "make_task",
+    "TASKS",
+]

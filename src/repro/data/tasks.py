@@ -1,0 +1,105 @@
+"""Synthetic multiple-choice tasks standing in for lm-evaluation-harness.
+
+Each task is a set of questions: a prompt sampled from the corpus chain,
+one *true* continuation sampled from the same chain, and distractor
+continuations sampled from a corrupted chain. A model answers by ranking
+candidate continuations by total log-likelihood — exactly how the harness
+scores ARC/Lambada-style tasks — so quantization-induced likelihood
+distortion lowers accuracy just as in the paper's Table 2.
+
+Six task profiles mirror the paper's six columns. Difficulty is controlled
+by the distractor temperature (how plausible wrong answers look) and the
+continuation length.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .corpus import Corpus
+
+__all__ = ["TaskSpec", "MCQTask", "make_task", "TASKS"]
+
+
+@dataclass(frozen=True)
+class TaskSpec:
+    name: str
+    n_questions: int = 96
+    prompt_len: int = 24
+    cont_len: int = 6
+    n_choices: int = 4
+    distractor_temp: float = 2.0  # higher = more plausible distractors
+    seed: int = 7
+
+
+@dataclass
+class MCQTask:
+    spec: TaskSpec
+    prompts: np.ndarray  # (N, prompt_len)
+    choices: np.ndarray  # (N, n_choices, cont_len)
+    answers: np.ndarray  # (N,) index of the true continuation
+
+    @property
+    def n_questions(self) -> int:
+        return len(self.answers)
+
+    def chance_accuracy(self) -> float:
+        return 1.0 / self.spec.n_choices
+
+
+def _walk(p: np.ndarray, start: int, n: int, rng: np.random.Generator) -> np.ndarray:
+    cdf = np.cumsum(p, axis=1)
+    out = np.empty(n, dtype=np.int64)
+    state = start
+    for i in range(n):
+        state = int(np.searchsorted(cdf[state], rng.random()))
+        out[i] = state
+    return out
+
+
+def _temper(p: np.ndarray, temp: float) -> np.ndarray:
+    """Flatten a transition matrix toward uniform (temp > 1 = flatter)."""
+    q = p ** (1.0 / temp)
+    return q / q.sum(axis=1, keepdims=True)
+
+
+def make_task(corpus: Corpus, spec: TaskSpec) -> MCQTask:
+    rng = np.random.default_rng(spec.seed)
+    p = corpus.transitions
+    distract_p = _temper(p, spec.distractor_temp)
+
+    prompts = np.empty((spec.n_questions, spec.prompt_len), dtype=np.int64)
+    choices = np.empty((spec.n_questions, spec.n_choices, spec.cont_len), dtype=np.int64)
+    answers = rng.integers(0, spec.n_choices, size=spec.n_questions)
+
+    max_start = len(corpus.train) - spec.prompt_len - 1
+    for i in range(spec.n_questions):
+        s = int(rng.integers(0, max_start))
+        prompt = corpus.train[s : s + spec.prompt_len]
+        prompts[i] = prompt
+        last = int(prompt[-1])
+        for c in range(spec.n_choices):
+            source = p if c == answers[i] else distract_p
+            choices[i, c] = _walk(source, last, spec.cont_len, rng)
+    return MCQTask(spec=spec, prompts=prompts, choices=choices, answers=answers)
+
+
+#: The six task profiles mirroring Table 2's columns.
+TASKS: dict[str, TaskSpec] = {
+    "arc_easy-sim": TaskSpec("arc_easy-sim", distractor_temp=4.0, cont_len=6, seed=11),
+    "arc_challenge-sim": TaskSpec(
+        "arc_challenge-sim", distractor_temp=1.6, cont_len=6, seed=12
+    ),
+    "lambada-sim": TaskSpec("lambada-sim", distractor_temp=2.5, cont_len=1, seed=13),
+    "college_cs-sim": TaskSpec(
+        "college_cs-sim", distractor_temp=1.4, cont_len=8, n_questions=64, seed=14
+    ),
+    "intl_law-sim": TaskSpec(
+        "intl_law-sim", distractor_temp=1.8, cont_len=8, n_questions=64, seed=15
+    ),
+    "jurisprudence-sim": TaskSpec(
+        "jurisprudence-sim", distractor_temp=1.5, cont_len=10, n_questions=64, seed=16
+    ),
+}

@@ -1,0 +1,12 @@
+"""Evaluation harness: perplexity and task accuracy under quantization."""
+
+from .harness import accuracy_table, score_continuations, task_accuracy
+from .perplexity import perplexity, perplexity_table
+
+__all__ = [
+    "perplexity",
+    "perplexity_table",
+    "task_accuracy",
+    "accuracy_table",
+    "score_continuations",
+]

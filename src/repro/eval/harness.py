@@ -1,0 +1,73 @@
+"""Task-accuracy harness: likelihood-ranked multiple choice (Table 2).
+
+Mirrors lm-evaluation-harness scoring: a question is answered correctly
+when the model assigns the true continuation the highest total
+log-likelihood among the choices. Candidates are scored in batched
+forwards so quantized evaluation stays fast.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..data.tasks import MCQTask
+from ..nn.functional import log_softmax
+from ..nn.quantize import QuantContext
+from ..nn.tensor import no_grad
+from ..nn.transformer import TransformerLM
+
+__all__ = ["score_continuations", "task_accuracy", "accuracy_table"]
+
+
+def score_continuations(
+    model: TransformerLM,
+    prompts: np.ndarray,
+    continuations: np.ndarray,
+    qc: QuantContext | None = None,
+    batch_size: int = 64,
+) -> np.ndarray:
+    """Total log-prob of each continuation given its prompt.
+
+    ``prompts``: (N, Lp); ``continuations``: (N, Lc). Returns (N,).
+    """
+    prompts = np.asarray(prompts)
+    continuations = np.asarray(continuations)
+    n, lp = prompts.shape
+    lc = continuations.shape[1]
+    seqs = np.concatenate([prompts, continuations], axis=1)
+
+    scores = np.empty(n, dtype=np.float64)
+    with no_grad():
+        for start in range(0, n, batch_size):
+            chunk = seqs[start : start + batch_size]
+            logits = model(chunk[:, :-1], qc)
+            logp = log_softmax(logits, axis=-1).data
+            # positions lp-1 .. lp+lc-2 predict the continuation tokens
+            rows = np.arange(chunk.shape[0])[:, None]
+            cols = np.arange(lp - 1, lp + lc - 1)[None, :]
+            targets = chunk[:, lp:]
+            scores[start : start + chunk.shape[0]] = logp[rows, cols, targets].sum(axis=1)
+    return scores
+
+
+def task_accuracy(
+    model: TransformerLM, task: MCQTask, qc: QuantContext | None = None
+) -> float:
+    """Accuracy (%) on a multiple-choice task under config ``qc``."""
+    n, n_choices, lc = task.choices.shape
+    prompts = np.repeat(task.prompts, n_choices, axis=0)
+    conts = task.choices.reshape(n * n_choices, lc)
+    scores = score_continuations(model, prompts, conts, qc).reshape(n, n_choices)
+    picks = np.argmax(scores, axis=1)
+    return float(np.mean(picks == task.answers) * 100.0)
+
+
+def accuracy_table(
+    model: TransformerLM, tasks: dict[str, MCQTask], format_names: list[str]
+) -> dict[str, dict[str, float]]:
+    """Accuracy per (format, task): the Table 2 grid for one model."""
+    out: dict[str, dict[str, float]] = {}
+    for fmt in format_names:
+        qc = QuantContext.named(fmt)
+        out[fmt] = {tname: task_accuracy(model, task, qc) for tname, task in tasks.items()}
+    return out

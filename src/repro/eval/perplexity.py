@@ -1,0 +1,37 @@
+"""Perplexity evaluation under quantized inference (Tables 3, 7, 8, 10)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..data.corpus import Corpus
+from ..nn.quantize import QuantContext
+from ..nn.transformer import TransformerLM
+
+__all__ = ["perplexity", "perplexity_table"]
+
+
+def perplexity(
+    model: TransformerLM,
+    corpus: Corpus,
+    qc: QuantContext,
+    batch: int = 16,
+    seq_len: int = 128,
+) -> float:
+    """Held-out perplexity of ``model`` on ``corpus`` under config ``qc``."""
+    tokens = corpus.val_batch(batch, seq_len)
+    return model.perplexity(tokens, qc)
+
+
+def perplexity_table(
+    model: TransformerLM,
+    corpus: Corpus,
+    format_names: list[str],
+    batch: int = 16,
+    seq_len: int = 128,
+) -> dict[str, float]:
+    """Perplexity per named format config (see QuantContext.named)."""
+    return {
+        name: perplexity(model, corpus, QuantContext.named(name), batch, seq_len)
+        for name in format_names
+    }

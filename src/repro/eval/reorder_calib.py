@@ -1,0 +1,54 @@
+"""Calibration for Section 8.3 channel reordering.
+
+The paper predetermines the channel ordering of the query/key matrices by
+averaging per-channel outlier counts over a sample split. Here we run the
+model on calibration tokens, collect each layer's attention-input
+activations (the operands of the Wq/Wk matmuls), count 3-sigma outliers
+per channel, and build the scatter permutation. Applying the same
+permutation to both the activations and the weight rows keeps the matmul
+exact (see ``Linear.__call__``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.reorder import channel_outlier_counts, reorder_permutation
+from ..nn.quantize import QuantContext
+from ..nn.tensor import no_grad
+from ..nn.transformer import TransformerLM
+
+__all__ = ["attention_inputs", "calibrate_qk_permutations"]
+
+
+def attention_inputs(model: TransformerLM, tokens: np.ndarray) -> list[np.ndarray]:
+    """Per-layer post-norm attention inputs on ``tokens`` (no quantization)."""
+    tokens = np.asarray(tokens)
+    if tokens.ndim == 1:
+        tokens = tokens[None, :]
+    acts: list[np.ndarray] = []
+    with no_grad():
+        x = model.embed(tokens)
+        x = x + model._positional(tokens.shape[1])
+        for block in model.blocks:
+            acts.append(block.attn_norm(x).data)
+            x = block(x)
+    return acts
+
+
+def calibrate_qk_permutations(
+    model: TransformerLM, tokens: np.ndarray, block_size: int = 32
+) -> dict[int, np.ndarray]:
+    """Per-layer scatter permutation from calibration outlier counts."""
+    perms: dict[int, np.ndarray] = {}
+    for layer, acts in enumerate(attention_inputs(model, tokens)):
+        counts = channel_outlier_counts(acts)
+        perms[layer] = reorder_permutation(counts, block_size)
+    return perms
+
+
+def reorder_context(
+    model: TransformerLM, tokens: np.ndarray, base: QuantContext
+) -> QuantContext:
+    """A copy of ``base`` with calibrated reordering enabled."""
+    return base.with_(qk_permutations=calibrate_qk_permutations(model, tokens))

@@ -1,0 +1,61 @@
+"""Area/power model for the MX+ Tensor-Core components (Table 5).
+
+Component-level estimator at a 28nm-class node. Unit costs are the
+synthesis results the paper reports, decomposed per instance; the model
+composes them per Tensor Core (32 DPEs; 16 FSUs, one BM Detector and one
+BCU per DPE-pair datapath as in Figure 9) and supports first-order node
+scaling for what-if comparisons.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Component", "MXPLUS_COMPONENTS", "tensor_core_overhead", "scale_to_node"]
+
+
+@dataclass(frozen=True)
+class Component:
+    name: str
+    instances: int  # per Tensor Core
+    unit_area_mm2: float
+    unit_power_mw: float
+
+    @property
+    def area_mm2(self) -> float:
+        return self.instances * self.unit_area_mm2
+
+    @property
+    def power_mw(self) -> float:
+        return self.instances * self.unit_power_mw
+
+
+#: Per-Tensor-Core component inventory (Table 5: 32 x each group).
+MXPLUS_COMPONENTS: list[Component] = [
+    # 32 DPEs x 16 FSUs each; unit cost from 0.004 mm^2 / 0.59 mW totals.
+    Component("forward-swap-unit", 32 * 16, 0.004 / (32 * 16), 0.59 / (32 * 16)),
+    Component("bm-detector", 32, 0.004 / 32, 2.86 / 32),
+    Component("bm-compute-unit", 32, 0.012 / 32, 8.66 / 32),
+]
+
+#: Reference totals for competing Tensor-Core integrations (the paper
+#: cites RM-STC and OliVe as notably larger).
+REFERENCE_AREAS_MM2 = {"mx+": 0.020, "rm-stc": 0.137, "olive": 0.081}
+
+
+def tensor_core_overhead(components: list[Component] | None = None) -> dict[str, float]:
+    """Total added area (mm^2) and power (mW) per Tensor Core."""
+    comps = MXPLUS_COMPONENTS if components is None else components
+    return {
+        "area_mm2": round(sum(c.area_mm2 for c in comps), 6),
+        "power_mw": round(sum(c.power_mw for c in comps), 4),
+    }
+
+
+def scale_to_node(area_mm2: float, from_nm: float = 28.0, to_nm: float = 4.0) -> float:
+    """First-order (quadratic) area scaling between process nodes.
+
+    The paper notes the overhead "would be even smaller" on the 4nm node
+    the RTX 5090 uses; this gives the standard back-of-envelope number.
+    """
+    return area_mm2 * (to_nm / from_nm) ** 2

@@ -1,0 +1,80 @@
+"""Conversion-before-computation timing model (Section 5 / Table 4).
+
+On GPUs without native MX support (e.g. RTX A6000), MX blocks are
+converted to BF16 inside the matmul kernel (the Triton path the paper
+extends). MX+ adds per-block BM fix-up work to that conversion — Eq. (2)'s
+branch — and MX++ additionally applies the NBM scale delta. No extra MMA
+is needed. The overhead is therefore most visible when conversion
+dominates, i.e. small-M (low data reuse) GEMMs, and is amortized away at
+large M — the Table 4 pattern.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .kernels import GemmShape, gemm_time
+from .spec import GPUSpec, RTXA6000
+
+__all__ = ["ConversionCosts", "converted_matmul_time", "table4_row"]
+
+
+@dataclass(frozen=True)
+class ConversionCosts:
+    """Per-element / per-block conversion costs, in GPU cycles.
+
+    Calibrated so the relative Table 4 overheads emerge; absolute values
+    are nominal (the paper reports normalized time only).
+    """
+
+    elem_cycles: float = 1.0  # shift+scale per element (Eq. 2 NBM branch)
+    bm_fixup_cycles_mxplus: float = 50.0  # per block: BM branch of Eq. (2)
+    bm_fixup_cycles_mxpp: float = 63.0  # + NBM rescale by the stored delta
+    conv_lanes_per_sm: int = 64  # CUDA-core lanes usable by the converter
+
+    def per_block(self, variant: str, block: int = 32) -> float:
+        base = self.elem_cycles * block
+        if variant == "mxfp4+":
+            return base + self.bm_fixup_cycles_mxplus
+        if variant == "mxfp4++":
+            return base + self.bm_fixup_cycles_mxpp
+        return base
+
+
+def converted_matmul_time(
+    shape: GemmShape,
+    weight_variant: str = "mxfp4",
+    spec: GPUSpec = RTXA6000,
+    costs: ConversionCosts = ConversionCosts(),
+    block: int = 32,
+) -> float:
+    """Seconds for BF16-activation x MX-weight GEMM with conversion.
+
+    Weights are dequantized once (converted tiles stay L2-resident across
+    M-tiles), then BF16 MMAs run. Small-M GEMMs are dominated by the
+    weight load + conversion, so the MX+ BM branch is most visible there;
+    large-M GEMMs are MMA-bound and amortize it — the Table 4 pattern.
+    """
+    nblocks = (shape.k // block) * shape.n
+    conv_cycles = nblocks * costs.per_block(weight_variant, block)
+    rate = spec.num_sms * costs.conv_lanes_per_sm * spec.clock_ghz * 1e9
+    conv_s = conv_cycles / rate
+    mma_s = gemm_time(spec, shape, a_fmt="bf16", b_fmt="bf16")
+    return conv_s + mma_s
+
+
+def table4_row(
+    m_values: list[int],
+    weight_variant: str,
+    n: int = 4096,
+    k: int = 4096,
+    spec: GPUSpec = RTXA6000,
+) -> dict[int, float]:
+    """Normalized matmul time (variant / mxfp4) across M (one Table 4 row)."""
+    out = {}
+    for m in m_values:
+        shape = GemmShape(m, n, k)
+        base = converted_matmul_time(shape, "mxfp4", spec)
+        ours = converted_matmul_time(shape, weight_variant, spec)
+        out[m] = ours / base
+    return out

@@ -1,0 +1,142 @@
+"""LLM serving simulator: prefill/decode execution time (Figures 11-13).
+
+Follows the paper's definition: *execution time* is the aggregated matrix
+multiplication time during inference for a given number of concurrent
+requests. Per layer we time the QKV/O projections, the gated MLP, and the
+attention score/value products (whose K/V operands stream from the KV
+cache); the LM head runs once per forward.
+
+Prefill processes ``batch * prompt_len`` rows at once (compute-bound);
+decode processes ``batch`` rows per generated token while the KV cache
+grows (memory-bound). The MX+ software path inflates compute only, so it
+costs ~1.5x in prefill but vanishes in decode — reproducing Figure 11.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..models.zoo import ArchSpec
+from .kernels import GemmShape, gemm_time
+from .spec import FORMAT_BITS, GPUSpec, RTX5090
+
+__all__ = ["ServingConfig", "StageTimes", "simulate_inference", "end_to_end_speedup"]
+
+
+@dataclass(frozen=True)
+class ServingConfig:
+    """One paper configuration, e.g. A-MXFP4+ under software integration."""
+
+    name: str
+    act_fmt: str = "bf16"
+    weight_fmt: str = "bf16"
+    mxplus_software: bool = False  # Algorithm 1 extra sparse MMA on A
+    mxplus_hardware: bool = False  # Section 6 Tensor-Core integration
+    min_tile_m: int = 1  # kernel tile granularity on M (A8W4: 128)
+
+
+#: The serving configurations evaluated in Figures 11 and 13.
+CONFIGS: dict[str, ServingConfig] = {
+    "bf16": ServingConfig("bf16"),
+    "mxfp4": ServingConfig("mxfp4", "mxfp4", "mxfp4"),
+    "a-mxfp4+": ServingConfig(
+        "a-mxfp4+", "mxfp4+", "mxfp4", mxplus_software=True
+    ),
+    "mxfp8": ServingConfig("mxfp8", "mxfp8", "mxfp8"),
+    "mxfp4+": ServingConfig("mxfp4+", "mxfp4+", "mxfp4+", mxplus_hardware=True),
+    "mxfp4++": ServingConfig("mxfp4++", "mxfp4++", "mxfp4++", mxplus_hardware=True),
+    # CUTLASS ships a single M=128 tile shape for A8W4 (Section 7.4), so
+    # decode (M = batch) pays heavy tile padding.
+    "a8w4": ServingConfig("a8w4", "mxfp8", "mxfp4", min_tile_m=128),
+}
+
+
+@dataclass
+class StageTimes:
+    prefill_s: float
+    decode_s: float
+
+    @property
+    def total_s(self) -> float:
+        return self.prefill_s + self.decode_s
+
+
+def _layer_gemms(arch: ArchSpec, m: int, ctx: int) -> list[tuple[GemmShape, str]]:
+    """(shape, kind) for one transformer layer at batch-rows ``m``.
+
+    kind is "linear" (weight operand) or "attention" (both operands are
+    activations / KV cache).
+    """
+    kv_dim = arch.n_kv_heads * arch.head_dim
+    shapes = [
+        (GemmShape(m, arch.dim, arch.dim), "linear"),  # Q proj
+        (GemmShape(m, kv_dim, arch.dim), "linear"),  # K proj
+        (GemmShape(m, kv_dim, arch.dim), "linear"),  # V proj
+        (GemmShape(m, arch.dim, arch.dim), "linear"),  # O proj
+        (GemmShape(m, arch.hidden, arch.dim), "linear"),  # gate
+        (GemmShape(m, arch.hidden, arch.dim), "linear"),  # up
+        (GemmShape(m, arch.dim, arch.hidden), "linear"),  # down
+        # attention: scores (M x ctx x head_dim) and values, per token rows
+        (GemmShape(m, ctx, arch.dim), "attention"),
+        (GemmShape(m, arch.dim, ctx), "attention"),
+    ]
+    return shapes
+
+
+def _forward_time(
+    spec: GPUSpec, arch: ArchSpec, cfg: ServingConfig, m: int, ctx: int
+) -> float:
+    total = 0.0
+    for shape, kind in _layer_gemms(arch, m, ctx):
+        b_fmt = cfg.weight_fmt if kind == "linear" else cfg.act_fmt
+        total += gemm_time(
+            spec,
+            shape,
+            a_fmt=cfg.act_fmt,
+            b_fmt=b_fmt,  # attention: KV cache in the activation format
+            mxplus_software=cfg.mxplus_software,
+            mxplus_hardware=cfg.mxplus_hardware,
+            min_tile_m=cfg.min_tile_m,
+        )
+    total *= arch.n_layers
+    total += gemm_time(
+        spec,
+        GemmShape(m, arch.vocab, arch.dim),
+        a_fmt=cfg.act_fmt,
+        b_fmt=cfg.weight_fmt,
+        mxplus_software=cfg.mxplus_software,
+        mxplus_hardware=cfg.mxplus_hardware,
+        min_tile_m=cfg.min_tile_m,
+    )
+    return total
+
+
+def simulate_inference(
+    arch: ArchSpec,
+    cfg: ServingConfig,
+    batch: int = 4,
+    prompt_len: int = 1024,
+    output_len: int = 64,
+    spec: GPUSpec = RTX5090,
+) -> StageTimes:
+    """Aggregate matmul time for prefill and decode stages (seconds)."""
+    prefill = _forward_time(spec, arch, cfg, m=batch * prompt_len, ctx=prompt_len)
+    decode = 0.0
+    for t in range(output_len):
+        ctx = prompt_len + t
+        decode += _forward_time(spec, arch, cfg, m=batch, ctx=ctx)
+    return StageTimes(prefill_s=prefill, decode_s=decode)
+
+
+def end_to_end_speedup(
+    arch: ArchSpec,
+    cfg: ServingConfig,
+    batch: int = 4,
+    prompt_len: int = 1024,
+    output_len: int = 64,
+    spec: GPUSpec = RTX5090,
+) -> float:
+    """Speedup of ``cfg`` over the BF16 baseline (Figure 13)."""
+    base = simulate_inference(arch, CONFIGS["bf16"], batch, prompt_len, output_len, spec)
+    ours = simulate_inference(arch, cfg, batch, prompt_len, output_len, spec)
+    return base.total_s / ours.total_s

@@ -1,0 +1,93 @@
+"""GPU hardware specifications for the performance substrate.
+
+Calibrated to the datapoints the paper reports for the NVIDIA RTX 5090:
+one FP4 ``mma.m16n8k64`` retires every 16 cycles per Tensor Core, FP8
+sustains half the FP4 throughput and FP6 matches FP8, and sparse MMA runs
+at twice the dense rate (Section 5.2/6.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["GPUSpec", "RTX5090", "RTXA6000", "FORMAT_BITS"]
+
+#: storage bits per element for traffic accounting (incl. sidebands)
+FORMAT_BITS: dict[str, float] = {
+    "bf16": 16.0,
+    "fp16": 16.0,
+    "mxfp8": 8.25,
+    "mxfp8+": 8.5,
+    "mxfp6": 6.25,
+    "mxfp6+": 6.5,
+    "mxfp4": 4.25,
+    "mxfp4+": 4.5,
+    "mxfp4++": 4.5,
+    "fp32": 32.0,
+}
+
+
+@dataclass(frozen=True)
+class GPUSpec:
+    name: str
+    num_sms: int
+    tensor_cores_per_sm: int
+    clock_ghz: float
+    mem_bw_gbps: float  # effective DRAM bandwidth, GB/s
+    #: MACs per cycle per Tensor Core at FP4 (m16n8k64 / 16 cycles)
+    fp4_macs_per_cycle_per_tc: float = 16 * 8 * 64 / 16.0
+    #: relative MMA throughput by compute format (FP4 = 1)
+    format_throughput: dict = field(
+        default_factory=lambda: {
+            "mxfp4": 1.0,
+            "mxfp4+": 1.0,
+            "mxfp4++": 1.0,
+            "mxfp6": 0.5,
+            "mxfp6+": 0.5,
+            "mxfp8": 0.5,
+            "mxfp8+": 0.5,
+            "bf16": 0.25,
+            "fp16": 0.25,
+        }
+    )
+    #: whether Tensor Cores consume MX formats natively (Blackwell: yes)
+    native_mx: bool = True
+    #: relative speed of a sparse MMA vs dense at the same K (2x on NVIDIA)
+    sparse_speedup: float = 2.0
+
+    def tc_macs_per_s(self, fmt: str) -> float:
+        """Peak Tensor-Core MACs/second for a compute format."""
+        rel = self.format_throughput.get(fmt, 0.25)
+        return (
+            self.num_sms
+            * self.tensor_cores_per_sm
+            * self.fp4_macs_per_cycle_per_tc
+            * rel
+            * self.clock_ghz
+            * 1e9
+        )
+
+    def mem_bytes_per_s(self) -> float:
+        return self.mem_bw_gbps * 1e9
+
+
+#: RTX 5090-like (Blackwell, native MX support) — Section 7.1.
+RTX5090 = GPUSpec(
+    name="rtx5090",
+    num_sms=170,
+    tensor_cores_per_sm=4,
+    clock_ghz=2.01,
+    mem_bw_gbps=1792.0,
+    native_mx=True,
+)
+
+#: RTX A6000-like (Ampere, no native MX -> conversion before compute).
+RTXA6000 = GPUSpec(
+    name="rtx-a6000",
+    num_sms=84,
+    tensor_cores_per_sm=4,
+    clock_ghz=1.41,
+    mem_bw_gbps=768.0,
+    native_mx=False,
+    format_throughput={"bf16": 0.25, "fp16": 0.25},
+)

@@ -1,0 +1,16 @@
+"""Model zoo: scaled-down LLM stand-ins + full-size arch descriptors."""
+
+from .outliers import inject_outliers, inject_qk_outliers, verify_equivalence
+from .zoo import ARCHS, PROFILES, ArchSpec, ModelProfile, get_corpus, load_model
+
+__all__ = [
+    "load_model",
+    "get_corpus",
+    "PROFILES",
+    "ModelProfile",
+    "ARCHS",
+    "ArchSpec",
+    "inject_outliers",
+    "inject_qk_outliers",
+    "verify_equivalence",
+]

@@ -1,0 +1,198 @@
+"""The scaled-down model zoo standing in for the paper's LLMs.
+
+Each profile names one of the paper's models and fixes a scaled-down
+transformer with a per-family *outlier profile*: positional-phase channels
+(the block-max-sensitive mechanism) and heavy-tail channel gains. The
+profiles are ordered the way the paper's models respond to MXFP4 —
+OPT-66B-sim collapses hardest, Phi-4-sim degrades least — by varying the
+outlier scale.
+
+``load_model(name)`` trains on first use and caches weights under
+``.model_cache`` (override with ``REPRO_CACHE_DIR``), so benchmarks and
+examples pay the training cost once per machine.
+
+The zoo also carries *full-size architecture descriptors* (``ARCHS``) used
+by the GPU performance substrate: the timing model needs the paper models'
+real dimensions (e.g. Llama-2-13B's 5120 width), not the tiny trained
+stand-ins.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from ..data.corpus import DATASETS, Corpus, CorpusSpec, make_corpus
+from ..nn.train import train_lm
+from ..nn.transformer import TransformerConfig, TransformerLM
+
+__all__ = ["ModelProfile", "PROFILES", "ArchSpec", "ARCHS", "load_model", "get_corpus", "cache_dir"]
+
+
+# Standard phase-channel layout: two frequency pairs in blocks 0 and 2.
+_PE4 = ((8, 5.0, "sin"), (9, 5.0, "cos"), (72, 11.0, "sin"), (73, 11.0, "cos"))
+
+
+@dataclass(frozen=True)
+class ModelProfile:
+    name: str
+    config: TransformerConfig
+    corpus: str = "wiki2-sim"
+    train_steps: int = 450
+    batch_size: int = 24
+    seq_len: int = 64
+    lr: float = 3e-3
+    train_tokens: int = 240_000
+
+
+def _cfg(name: str, pe_scale: float, seed: int, gain_sigma: float = 0.8, **kw) -> TransformerConfig:
+    base = dict(
+        vocab_size=128,
+        dim=128,
+        n_layers=2,
+        n_heads=4,
+        hidden=256,
+        pe_channels=_PE4,
+        pe_scale=pe_scale,
+        channel_gain_sigma=gain_sigma,
+        channel_gain_cap=6.0,
+        seed=seed,
+        name=name,
+    )
+    base.update(kw)
+    return TransformerConfig(**base)
+
+
+#: Scaled-down stand-ins. pe_scale orders the MXFP4 damage the way the
+#: paper's models order it (OPT worst, Phi-4 most robust).
+PROFILES: dict[str, ModelProfile] = {
+    "opt-66b-sim": ModelProfile(
+        "opt-66b-sim", _cfg("opt-66b-sim", pe_scale=13.0, seed=11, gain_sigma=1.0)
+    ),
+    "llama-3.1-8b-sim": ModelProfile(
+        "llama-3.1-8b-sim", _cfg("llama-3.1-8b-sim", pe_scale=12.0, seed=3)
+    ),
+    "llama-3.1-70b-sim": ModelProfile(
+        "llama-3.1-70b-sim",
+        _cfg("llama-3.1-70b-sim", pe_scale=10.0, seed=7, n_layers=3),
+        train_steps=500,
+    ),
+    "mistral-7b-sim": ModelProfile(
+        "mistral-7b-sim", _cfg("mistral-7b-sim", pe_scale=8.0, seed=5)
+    ),
+    "phi-4-14b-sim": ModelProfile(
+        "phi-4-14b-sim", _cfg("phi-4-14b-sim", pe_scale=5.0, seed=9)
+    ),
+    "qwen-2.5-14b-sim": ModelProfile(
+        "qwen-2.5-14b-sim", _cfg("qwen-2.5-14b-sim", pe_scale=10.0, seed=13)
+    ),
+    "llama-2-7b-sim": ModelProfile(
+        "llama-2-7b-sim", _cfg("llama-2-7b-sim", pe_scale=12.0, seed=17)
+    ),
+    "llama-2-13b-sim": ModelProfile(
+        "llama-2-13b-sim", _cfg("llama-2-13b-sim", pe_scale=11.0, seed=19)
+    ),
+    # Small, fast-training model for tests.
+    "test-tiny": ModelProfile(
+        "test-tiny",
+        _cfg("test-tiny", pe_scale=12.0, seed=1, dim=64, hidden=128,
+             pe_channels=((4, 5.0, "sin"), (5, 5.0, "cos"), (40, 11.0, "sin"), (41, 11.0, "cos"))),
+        train_steps=60,
+        batch_size=16,
+        train_tokens=60_000,
+    ),
+}
+
+
+@dataclass(frozen=True)
+class ArchSpec:
+    """Full-size architecture descriptor for the GPU timing model."""
+
+    name: str
+    dim: int
+    n_layers: int
+    n_heads: int
+    n_kv_heads: int
+    hidden: int
+    vocab: int
+
+    @property
+    def head_dim(self) -> int:
+        return self.dim // self.n_heads
+
+
+ARCHS: dict[str, ArchSpec] = {
+    "llama-2-7b": ArchSpec("llama-2-7b", 4096, 32, 32, 32, 11008, 32000),
+    "llama-2-13b": ArchSpec("llama-2-13b", 5120, 40, 40, 40, 13824, 32000),
+    "llama-2-70b": ArchSpec("llama-2-70b", 8192, 80, 64, 8, 28672, 32000),
+    "llama-3.1-8b": ArchSpec("llama-3.1-8b", 4096, 32, 32, 8, 14336, 128256),
+    "llama-3.1-70b": ArchSpec("llama-3.1-70b", 8192, 80, 64, 8, 28672, 128256),
+    "opt-66b": ArchSpec("opt-66b", 9216, 64, 72, 72, 36864, 50272),
+    "mistral-7b": ArchSpec("mistral-7b", 4096, 32, 32, 8, 14336, 32768),
+}
+
+
+def cache_dir() -> Path:
+    root = os.environ.get("REPRO_CACHE_DIR", "")
+    path = Path(root) if root else Path(__file__).resolve().parents[3] / ".model_cache"
+    path.mkdir(parents=True, exist_ok=True)
+    return path
+
+
+def _profile_key(profile: ModelProfile) -> str:
+    payload = json.dumps(dataclasses.asdict(profile), sort_keys=True, default=str)
+    return hashlib.sha1(payload.encode()).hexdigest()[:12]
+
+
+_CORPUS_CACHE: dict[tuple, Corpus] = {}
+
+
+def get_corpus(name: str = "wiki2-sim", train_tokens: int | None = None) -> Corpus:
+    """Memoized corpus construction (same spec -> same object)."""
+    spec = DATASETS[name]
+    if train_tokens is not None:
+        spec = dataclasses.replace(spec, train_tokens=train_tokens)
+    key = (spec.name, spec.train_tokens)
+    if key not in _CORPUS_CACHE:
+        _CORPUS_CACHE[key] = make_corpus(spec)
+    return _CORPUS_CACHE[key]
+
+
+_MODEL_CACHE: dict[str, TransformerLM] = {}
+
+
+def load_model(name: str, retrain: bool = False, verbose: bool = False) -> TransformerLM:
+    """Load (training + caching on first use) a zoo model by name."""
+    if name not in PROFILES:
+        raise KeyError(f"unknown model {name!r}; available: {sorted(PROFILES)}")
+    if name in _MODEL_CACHE and not retrain:
+        return _MODEL_CACHE[name]
+
+    profile = PROFILES[name]
+    model = TransformerLM(profile.config)
+    path = cache_dir() / f"{name}-{_profile_key(profile)}.npz"
+    if path.exists() and not retrain:
+        state = dict(np.load(path))
+        model.load_state_dict(state)
+    else:
+        corpus = get_corpus(profile.corpus, profile.train_tokens)
+        if verbose:  # pragma: no cover
+            print(f"[zoo] training {name} ({profile.train_steps} steps)...")
+        train_lm(
+            model,
+            corpus.train,
+            steps=profile.train_steps,
+            batch_size=profile.batch_size,
+            seq_len=profile.seq_len,
+            lr=profile.lr,
+            seed=profile.config.seed,
+        )
+        np.savez(path, **model.state_dict())
+    _MODEL_CACHE[name] = model
+    return model

@@ -1,0 +1,228 @@
+"""NN modules on top of the autodiff engine, with quantized-matmul hooks.
+
+Every ``Linear`` consults an optional :class:`~repro.nn.quantize.QuantContext`
+at call time: operands are fake-quantized (via a straight-through op, so the
+same code path serves quantization-aware fine-tuning) right before the
+matmul, mirroring the paper's conversion-before-computation flow.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .functional import causal_mask, rmsnorm, silu, softmax
+from .quantize import QuantContext
+from .tensor import Tensor
+
+__all__ = [
+    "Module",
+    "Linear",
+    "Embedding",
+    "RMSNorm",
+    "CausalSelfAttention",
+    "SwiGLU",
+    "TransformerBlock",
+]
+
+
+class Module:
+    """Minimal module: parameter discovery + state dict save/load."""
+
+    def named_parameters(self, prefix: str = "") -> list[tuple[str, Tensor]]:
+        out: list[tuple[str, Tensor]] = []
+        for key, value in vars(self).items():
+            name = f"{prefix}{key}"
+            if isinstance(value, Tensor) and value.requires_grad:
+                out.append((name, value))
+            elif isinstance(value, Module):
+                out.extend(value.named_parameters(f"{name}."))
+            elif isinstance(value, (list, tuple)):
+                for i, item in enumerate(value):
+                    if isinstance(item, Module):
+                        out.extend(item.named_parameters(f"{name}.{i}."))
+        return out
+
+    def parameters(self) -> list[Tensor]:
+        return [p for _, p in self.named_parameters()]
+
+    def num_parameters(self) -> int:
+        return sum(p.size for p in self.parameters())
+
+    def state_dict(self) -> dict[str, np.ndarray]:
+        return {k: v.data.copy() for k, v in self.named_parameters()}
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        mine = dict(self.named_parameters())
+        missing = set(mine) - set(state)
+        if missing:
+            raise KeyError(f"missing parameters in state dict: {sorted(missing)}")
+        for k, p in mine.items():
+            if p.data.shape != state[k].shape:
+                raise ValueError(f"shape mismatch for {k}")
+            p.data = np.array(state[k], dtype=np.float64)
+
+    def zero_grad(self) -> None:
+        for p in self.parameters():
+            p.zero_grad()
+
+
+def _init(rng: np.random.Generator, shape: tuple, scale: float | None = None) -> Tensor:
+    scale = scale if scale is not None else 1.0 / np.sqrt(shape[0])
+    return Tensor(rng.normal(0.0, scale, size=shape), requires_grad=True)
+
+
+class Linear(Module):
+    """``y = x @ W (+ b)`` with quantization hooks on both operands."""
+
+    def __init__(self, rng: np.random.Generator, d_in: int, d_out: int, bias: bool = False):
+        self.weight = _init(rng, (d_in, d_out))
+        self.bias = Tensor(np.zeros(d_out), requires_grad=True) if bias else None
+
+    def __call__(
+        self,
+        x: Tensor,
+        qc: QuantContext | None = None,
+        perm: np.ndarray | None = None,
+    ) -> Tensor:
+        """Apply the layer; ``perm`` reorders input channels *and* weight
+        rows identically (exact in full precision), scattering co-located
+        outliers across quantization blocks (Section 8.3)."""
+        w = self.weight
+        if perm is not None:
+            x = x[..., perm]
+            w = w[perm]
+        if qc is not None:
+            xq, wq = qc.quantize_matmul_pair(x.data, w.data)
+            x = x.apply_ste(lambda a: xq)
+            w = w.apply_ste(lambda a: wq)
+        out = x @ w
+        if self.bias is not None:
+            out = out + self.bias
+        return out
+
+
+class Embedding(Module):
+    def __init__(self, rng: np.random.Generator, vocab: int, dim: int):
+        self.weight = Tensor(rng.normal(0, 0.02, size=(vocab, dim)), requires_grad=True)
+
+    def __call__(self, tokens: np.ndarray) -> Tensor:
+        return self.weight.take_rows(np.asarray(tokens))
+
+
+class RMSNorm(Module):
+    """RMSNorm with a trainable gain and an optional *fixed* channel scale.
+
+    The fixed scale is the architecture's heavy-tail amplifier (see
+    TransformerConfig.channel_gain_sigma): a non-trainable per-channel
+    multiplier that gives post-norm activations the wide within-block
+    dynamic range observed in real LLM tensors.
+    """
+
+    def __init__(self, dim: int, fixed_scale: np.ndarray | None = None):
+        self.gain = Tensor(np.ones(dim), requires_grad=True)
+        self.fixed_scale = (
+            Tensor(np.asarray(fixed_scale, dtype=np.float64))
+            if fixed_scale is not None
+            else None
+        )
+
+    def __call__(self, x: Tensor) -> Tensor:
+        out = rmsnorm(x, self.gain)
+        if self.fixed_scale is not None:
+            out = out * self.fixed_scale
+        return out
+
+
+class CausalSelfAttention(Module):
+    """Multi-head causal attention with quantized QK^T / PV matmuls.
+
+    Follows the paper's flow: scores and probabilities are computed in FP32
+    (softmax), and all four dot-product operand tensors (Q, K as the KV
+    cache, P, V) are quantized with the activation/KV format.
+    """
+
+    def __init__(self, rng: np.random.Generator, dim: int, n_heads: int):
+        if dim % n_heads:
+            raise ValueError("dim must be divisible by n_heads")
+        self.n_heads = n_heads
+        self.head_dim = dim // n_heads
+        self.wq = Linear(rng, dim, dim)
+        self.wk = Linear(rng, dim, dim)
+        self.wv = Linear(rng, dim, dim)
+        self.wo = Linear(rng, dim, dim)
+
+    def _split(self, x: Tensor, batch: int, seq: int) -> Tensor:
+        return x.reshape(batch, seq, self.n_heads, self.head_dim).transpose(0, 2, 1, 3)
+
+    def __call__(
+        self,
+        x: Tensor,
+        qc: QuantContext | None = None,
+        layer_index: int = 0,
+    ) -> Tensor:
+        batch, seq, dim = x.shape
+        # Section 8.3 channel reordering: the same permutation on the
+        # query/key projection inputs and weight rows keeps the matmuls
+        # mathematically unchanged while scattering co-located outlier
+        # channels across MX blocks (so more of them become BMs).
+        perm = None
+        if qc is not None:
+            perm = qc.qk_permutations.get(layer_index)
+        q = self.wq(x, qc, perm=perm)
+        k = self.wk(x, qc, perm=perm)
+        v = self.wv(x, qc)
+
+        q = self._split(q, batch, seq)
+        k = self._split(k, batch, seq)
+        v = self._split(v, batch, seq)
+
+        if qc is not None:
+            q = q.apply_ste(lambda a: qc.quantize_kv(a, axis=-1))
+            k = k.apply_ste(lambda a: qc.quantize_kv(a, axis=-1))
+
+        scores = (q @ k.swapaxes(-1, -2)) * (1.0 / np.sqrt(self.head_dim))
+        mask = causal_mask(seq)
+        scores = scores.where(mask, -1e30)
+        probs = softmax(scores, axis=-1)  # FP32 in the paper's flow
+
+        if qc is not None:
+            probs = probs.apply_ste(lambda a: qc.quantize_kv(a, axis=-1))
+            v = v.apply_ste(lambda a: qc.quantize_kv(a, axis=-2))
+
+        ctx = probs @ v
+        ctx = ctx.transpose(0, 2, 1, 3).reshape(batch, seq, dim)
+        return self.wo(ctx, qc)
+
+
+class SwiGLU(Module):
+    """Gated MLP (Llama-style): ``down(silu(gate(x)) * up(x))``."""
+
+    def __init__(self, rng: np.random.Generator, dim: int, hidden: int):
+        self.w_gate = Linear(rng, dim, hidden)
+        self.w_up = Linear(rng, dim, hidden)
+        self.w_down = Linear(rng, hidden, dim)
+
+    def __call__(self, x: Tensor, qc: QuantContext | None = None) -> Tensor:
+        return self.w_down(silu(self.w_gate(x, qc)) * self.w_up(x, qc), qc)
+
+
+class TransformerBlock(Module):
+    def __init__(
+        self,
+        rng: np.random.Generator,
+        dim: int,
+        n_heads: int,
+        hidden: int,
+        fixed_scale: np.ndarray | None = None,
+    ):
+        self.attn_norm = RMSNorm(dim, fixed_scale=fixed_scale)
+        self.attn = CausalSelfAttention(rng, dim, n_heads)
+        self.mlp_norm = RMSNorm(dim, fixed_scale=fixed_scale)
+        self.mlp = SwiGLU(rng, dim, hidden)
+
+    def __call__(
+        self, x: Tensor, qc: QuantContext | None = None, layer_index: int = 0
+    ) -> Tensor:
+        x = x + self.attn(self.attn_norm(x), qc, layer_index)
+        x = x + self.mlp(self.mlp_norm(x), qc)
+        return x

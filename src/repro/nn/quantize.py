@@ -1,0 +1,116 @@
+"""Quantized-inference context: which format each matmul operand uses.
+
+The paper's direct-cast flow (Section 7.1): all tensors involved in any dot
+product — activations, weights, the language-modeling head, and the KV
+cache — are cast to the chosen format right before the matmul; element-wise
+ops stay in BF16 and softmax in FP32. ``QuantContext`` encodes one such
+configuration, e.g.::
+
+    QuantContext.named("mxfp4")            # A-MXFP4, W-MXFP4
+    QuantContext.named("a-mxfp4+")         # MXFP4+ activations, MXFP4 weights
+    QuantContext(act=None, weight=fmt)     # weight-only quantization
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from ..core.blocks import BlockFormat
+from ..core.registry import get_format
+from .bf16 import bf16_round
+
+__all__ = ["QuantContext", "BASELINE"]
+
+
+@dataclass
+class QuantContext:
+    """Per-tensor-role format assignment for quantized inference.
+
+    ``None`` for a role means "baseline precision" (BF16 rounding when
+    ``bf16_base`` is set, else exact float64).
+    """
+
+    act: BlockFormat | None = None
+    weight: BlockFormat | None = None
+    kv: BlockFormat | None = None  # defaults to act when left None and act set
+    bf16_base: bool = True
+    quantize_lm_head: bool = True
+    quantize_attention: bool = True  # QK^T and PV matmuls (incl. KV cache)
+    name: str = "baseline"
+    # Optional channel permutations for the query/key projections keyed by
+    # layer index (Section 8.3 reordering); applied inside attention.
+    qk_permutations: dict = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def named(spec: str) -> "QuantContext":
+        """Build a context from a paper-style name.
+
+        * ``"baseline"`` / ``"bf16"``: no block quantization.
+        * ``"mxfp4"``, ``"mxfp6+"``, ...: the format for both A and W.
+        * ``"a-mxfp4+"``: MXFP4+ activations, MXFP4 weights (A-MXFP4+).
+        * ``"a:<fmt>,w:<fmt>"``: explicit mix, e.g. ``"a:bf16,w:mxfp4"``.
+        """
+        s = spec.lower()
+        if s in ("baseline", "bf16"):
+            return QuantContext(name="baseline")
+        if s.startswith("a:") or ",w:" in s:
+            parts = dict(p.split(":", 1) for p in s.split(","))
+            act = None if parts.get("a", "bf16") == "bf16" else get_format(parts["a"])
+            wname = parts.get("w", "bf16")
+            weight = None if wname == "bf16" else get_format(wname)
+            return QuantContext(act=act, weight=weight, name=spec)
+        if s.startswith("a-") and s.endswith("+"):
+            base = s[2:-1]  # "a-mxfp4+" -> plain "mxfp4" for weights
+            return QuantContext(
+                act=get_format(s[2:]), weight=get_format(base), name=spec
+            )
+        fmt_a = get_format(s)
+        fmt_w = get_format(s)
+        return QuantContext(act=fmt_a, weight=fmt_w, name=spec)
+
+    def with_(self, **kwargs) -> "QuantContext":
+        return replace(self, **kwargs)
+
+    # ------------------------------------------------------------------
+    def _base(self, x: np.ndarray) -> np.ndarray:
+        return bf16_round(x) if self.bf16_base else x
+
+    def quantize_act(self, x: np.ndarray, axis: int = -1) -> np.ndarray:
+        """Quantize a matmul activation operand along its reduction axis."""
+        if self.act is None:
+            return self._base(x)
+        return self.act.quantize_dequantize(self._base(x), axis=axis)
+
+    def quantize_weight(self, w: np.ndarray, axis: int = 0) -> np.ndarray:
+        """Quantize a weight operand along its reduction axis (input dim)."""
+        if self.weight is None:
+            return self._base(w)
+        return self.weight.quantize_dequantize(self._base(w), axis=axis)
+
+    def quantize_kv(self, x: np.ndarray, axis: int = -1) -> np.ndarray:
+        """Quantize a KV-cache / attention operand."""
+        if not self.quantize_attention:
+            return self._base(x)
+        fmt = self.kv if self.kv is not None else self.act
+        if fmt is None:
+            return self._base(x)
+        return fmt.quantize_dequantize(self._base(x), axis=axis)
+
+    def quantize_matmul_pair(
+        self, x: np.ndarray, w: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Joint hook for one ``x @ w`` matmul (x: (..., K), w: (K, N)).
+
+        The default treats the operands independently. Schemes that
+        co-transform the pair — SmoothQuant's scale migration, QuaRot's
+        rotation, AWQ's weight scaling — override this in
+        :mod:`repro.quant` so the migration stays mathematically paired.
+        """
+        return self.quantize_act(x, axis=-1), self.quantize_weight(w, axis=0)
+
+
+#: The BF16 baseline configuration (B in Figure 2).
+BASELINE = QuantContext()

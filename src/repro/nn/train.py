@@ -1,0 +1,48 @@
+"""Language-model training loop for the scaled-down model zoo."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .optim import Adam, clip_grad_norm
+from .transformer import TransformerLM
+
+__all__ = ["TrainResult", "train_lm"]
+
+
+@dataclass
+class TrainResult:
+    losses: list
+    final_loss: float
+    steps: int
+
+
+def train_lm(
+    model: TransformerLM,
+    corpus: np.ndarray,
+    steps: int = 300,
+    batch_size: int = 16,
+    seq_len: int = 64,
+    lr: float = 3e-3,
+    seed: int = 0,
+    log_every: int = 0,
+) -> TrainResult:
+    """Train ``model`` on a 1-D token ``corpus`` with Adam + grad clipping."""
+    rng = np.random.default_rng(seed)
+    opt = Adam(model.parameters(), lr=lr)
+    losses: list[float] = []
+    n = len(corpus) - seq_len - 1
+    for step in range(steps):
+        starts = rng.integers(0, n, size=batch_size)
+        batch = np.stack([corpus[s : s + seq_len + 1] for s in starts])
+        opt.zero_grad()
+        loss = model.loss(batch)
+        loss.backward()
+        clip_grad_norm(model.parameters(), 1.0)
+        opt.step()
+        losses.append(loss.item())
+        if log_every and (step + 1) % log_every == 0:  # pragma: no cover
+            print(f"step {step + 1}/{steps} loss {loss.item():.4f}")
+    return TrainResult(losses=losses, final_loss=losses[-1], steps=steps)

@@ -1,0 +1,166 @@
+"""Tiny vision models for the Table 9 experiments: a DeiT-style ViT and a
+ResNet-style CNN, with direct-cast and quantization-aware fine-tuning.
+
+The CNN's convolutions are im2col + matmul, so the same quantized-matmul
+hooks used by the transformer apply, and QA fine-tuning works through the
+straight-through estimator built into the Linear layers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..data.images import IMAGE_SIZE, ImageDataset
+from .functional import cross_entropy, gelu, softmax
+from .layers import Embedding, Linear, Module, RMSNorm
+from .optim import Adam, clip_grad_norm
+from .quantize import QuantContext
+from .tensor import Tensor, no_grad
+
+__all__ = ["TinyViT", "TinyCNN", "train_classifier", "qa_finetune", "classifier_accuracy"]
+
+
+def _im2col_indices(size: int, kernel: int, stride: int) -> tuple[np.ndarray, int]:
+    """Flat gather indices mapping an image to (positions, kernel*kernel)."""
+    out = (size - kernel) // stride + 1
+    idx = []
+    for oy in range(out):
+        for ox in range(out):
+            patch = [
+                (oy * stride + ky) * size + (ox * stride + kx)
+                for ky in range(kernel)
+                for kx in range(kernel)
+            ]
+            idx.append(patch)
+    return np.array(idx, dtype=np.int64), out
+
+
+class Conv2d(Module):
+    """Single-channel-group conv as im2col + Linear (quantizable)."""
+
+    def __init__(self, rng, in_ch: int, out_ch: int, kernel: int, size: int, stride: int = 1):
+        self.kernel = kernel
+        self.in_ch = in_ch
+        self.out_ch = out_ch
+        self.indices, self.out_size = _im2col_indices(size, kernel, stride)
+        self.proj = Linear(rng, in_ch * kernel * kernel, out_ch)
+
+    def __call__(self, x: Tensor, qc: QuantContext | None = None) -> Tensor:
+        # x: (batch, in_ch, size*size)
+        batch = x.shape[0]
+        cols = x[:, :, self.indices.reshape(-1)]
+        cols = cols.reshape(batch, self.in_ch, self.indices.shape[0], self.kernel**2)
+        cols = cols.transpose(0, 2, 1, 3).reshape(
+            batch, self.indices.shape[0], self.in_ch * self.kernel**2
+        )
+        out = self.proj(cols, qc)  # (batch, positions, out_ch)
+        return out.transpose(0, 2, 1)  # (batch, out_ch, positions)
+
+
+class TinyCNN(Module):
+    """ResNet-style stand-in: conv -> residual conv blocks -> pooled head."""
+
+    def __init__(self, n_classes: int = 8, width: int = 16, seed: int = 0):
+        rng = np.random.default_rng(seed)
+        self.conv1 = Conv2d(rng, 1, width, kernel=3, size=IMAGE_SIZE)
+        s1 = self.conv1.out_size
+        self.conv2 = Conv2d(rng, width, width, kernel=3, size=s1)
+        self.conv3 = Conv2d(rng, width, width, kernel=3, size=self.conv2.out_size)
+        self.head = Linear(rng, width, n_classes)
+        self._mid = s1
+
+    def __call__(self, images: np.ndarray | Tensor, qc: QuantContext | None = None) -> Tensor:
+        x = images if isinstance(images, Tensor) else Tensor(np.asarray(images))
+        batch = x.shape[0]
+        x = x.reshape(batch, 1, IMAGE_SIZE * IMAGE_SIZE)
+        h = self.conv1(x, qc).relu()
+        h2 = self.conv2(h, qc).relu()
+        # residual around conv3 (crop h2 to conv3's output positions)
+        h3 = self.conv3(h2, qc)
+        crop = _center_crop_indices(self.conv2.out_size, self.conv3.out_size)
+        h = (h3 + h2[:, :, crop]).relu()
+        pooled = h.mean(axis=-1)
+        return self.head(pooled, qc)
+
+
+def _center_crop_indices(size_in: int, size_out: int) -> np.ndarray:
+    off = (size_in - size_out) // 2
+    rows = np.arange(size_out) + off
+    grid = rows[:, None] * size_in + (np.arange(size_out) + off)[None, :]
+    return grid.reshape(-1)
+
+
+class TinyViT(Module):
+    """DeiT-style stand-in: patch embed, one attention block, mean-pool head."""
+
+    def __init__(self, n_classes: int = 8, dim: int = 48, n_heads: int = 4, seed: int = 0,
+                 outlier_scale: float = 24.0):
+        from .layers import CausalSelfAttention, SwiGLU  # reuse modules
+
+        rng = np.random.default_rng(seed)
+        self.patch = 4
+        n_patches = (IMAGE_SIZE // self.patch) ** 2
+        self.embed = Linear(rng, self.patch * self.patch, dim)
+        self.pos = Tensor(rng.normal(0, 0.5, (1, n_patches, dim)), requires_grad=True)
+        # ViTs carry scattered activation outliers (Section 8.2); a fixed
+        # heavy-tail gain with one dominant channel reproduces that.
+        gains = np.minimum(np.exp2(np.abs(rng.normal(0, 0.8, dim))), 6.0)
+        gains[7] = outlier_scale
+        self.norm1 = RMSNorm(dim, fixed_scale=gains)
+        self.attn = CausalSelfAttention(rng, dim, n_heads)
+        self.norm2 = RMSNorm(dim, fixed_scale=gains)
+        self.mlp = SwiGLU(rng, dim, dim * 2)
+        self.head = Linear(rng, dim, n_classes)
+
+    def _patches(self, images: np.ndarray) -> np.ndarray:
+        b = images.shape[0]
+        p = self.patch
+        n = IMAGE_SIZE // p
+        x = images.reshape(b, n, p, n, p).transpose(0, 1, 3, 2, 4)
+        return x.reshape(b, n * n, p * p)
+
+    def __call__(self, images: np.ndarray | Tensor, qc: QuantContext | None = None) -> Tensor:
+        arr = images.data if isinstance(images, Tensor) else np.asarray(images)
+        x = self.embed(Tensor(self._patches(arr)), qc) + self.pos
+        x = x + self.attn(self.norm1(x), qc)
+        x = x + self.mlp(self.norm2(x), qc)
+        pooled = x.mean(axis=1)
+        return self.head(pooled, qc)
+
+
+def classifier_accuracy(
+    model: Module, data: ImageDataset, qc: QuantContext | None = None, batch: int = 128
+) -> float:
+    """Top-1 accuracy (%) on the test split."""
+    correct = 0
+    with no_grad():
+        for i in range(0, len(data.test_y), batch):
+            logits = model(data.test_x[i : i + batch], qc).data
+            correct += int(np.sum(np.argmax(logits, axis=-1) == data.test_y[i : i + batch]))
+    return 100.0 * correct / len(data.test_y)
+
+
+def _train(model, data, steps, lr, qc, batch, seed):
+    rng = np.random.default_rng(seed)
+    opt = Adam(model.parameters(), lr=lr)
+    for _ in range(steps):
+        idx = rng.integers(0, len(data.train_y), size=batch)
+        opt.zero_grad()
+        loss = cross_entropy(model(data.train_x[idx], qc), data.train_y[idx])
+        loss.backward()
+        clip_grad_norm(model.parameters(), 1.0)
+        opt.step()
+    return model
+
+
+def train_classifier(model: Module, data: ImageDataset, steps: int = 150,
+                     lr: float = 3e-3, batch: int = 64, seed: int = 0) -> Module:
+    """Full-precision training."""
+    return _train(model, data, steps, lr, None, batch, seed)
+
+
+def qa_finetune(model: Module, data: ImageDataset, qc: QuantContext, steps: int = 60,
+                lr: float = 1e-3, batch: int = 64, seed: int = 1) -> Module:
+    """Quantization-aware fine-tuning: forward through the quantizer with
+    straight-through gradients (Table 9's QA fine-tuning column)."""
+    return _train(model, data, steps, lr, qc, batch, seed)

@@ -1,0 +1,59 @@
+"""Baseline quantization schemes for the Table 7/8/13 comparisons."""
+
+from .ant import ANTContext
+from .atom import AtomContext
+from .awq import AWQContext
+from .base import SCHEME_MATRIX, SchemeCard, SchemeContext
+from .llmfp4 import LLMFP4Context
+from .olive import OliVeContext
+from .quarot import QuaRotContext, random_hadamard
+from .smoothquant import SmoothQuantContext
+from .tender import TenderContext
+
+from ..core.registry import get_format
+from ..nn.quantize import QuantContext
+
+
+def scheme_context(name: str) -> QuantContext:
+    """Build a Table 7/8 scheme context by its paper row name."""
+    key = name.lower()
+    table = {
+        "smq-int4": lambda: SmoothQuantContext(name=key),
+        "smq-mxfp4": lambda: SmoothQuantContext(mx_format=get_format("mxfp4"), name=key),
+        "quarot-int4": lambda: QuaRotContext(name=key),
+        "quarot-mxfp4": lambda: QuaRotContext(mx_format=get_format("mxfp4"), name=key),
+        "atom": lambda: AtomContext(name=key),
+        "ant": lambda: ANTContext(name=key),
+        "mx-ant": lambda: ANTContext(group=32, name=key),
+        "olive": lambda: OliVeContext(name=key),
+        "mx-olive": lambda: OliVeContext(group=32, name=key),
+        "tender": lambda: TenderContext(name=key),
+        "mx-tender": lambda: TenderContext(row_group=2, name=key),
+        "llm-fp4": lambda: LLMFP4Context(name=key),
+        "awq-int4": lambda: AWQContext(name=key),
+        "awq-mxfp4": lambda: AWQContext(weight_format=get_format("mxfp4"), name=key),
+        "awq-mxfp4+": lambda: AWQContext(weight_format=get_format("mxfp4+"), name=key),
+    }
+    if key in table:
+        return table[key]()
+    # Fall back to format names with the Table 7 scope (no LM head, no
+    # attention matmuls) so MXFP4+/++ rows are comparable.
+    qc = QuantContext.named(name)
+    return qc.with_(quantize_lm_head=False, quantize_attention=False, name=key)
+
+
+__all__ = [
+    "SchemeContext",
+    "SchemeCard",
+    "SCHEME_MATRIX",
+    "SmoothQuantContext",
+    "QuaRotContext",
+    "random_hadamard",
+    "AtomContext",
+    "AWQContext",
+    "ANTContext",
+    "OliVeContext",
+    "TenderContext",
+    "LLMFP4Context",
+    "scheme_context",
+]

@@ -1,0 +1,102 @@
+"""ANT (Guo et al., MICRO'22) — adaptive numerical data types.
+
+ANT picks, per tensor (original) or per group of 32 (the paper's MX-ANT
+variant), the 4-bit data type that minimizes quantization MSE among
+integer (uniform), float (E2M1-like), power-of-two, and "flint" (a
+float-int hybrid with denser codes near the max) — all with a
+floating-point scale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.blocks import from_blocks, to_blocks
+from ..core.elem import E2M1
+from .base import SchemeContext
+
+__all__ = ["ANTContext", "CANDIDATE_GRIDS", "quantize_adaptive"]
+
+
+def _grid_int4() -> np.ndarray:
+    return np.arange(0, 8, dtype=np.float64) / 7.0
+
+
+def _grid_float4() -> np.ndarray:
+    return E2M1.representable_values() / E2M1.max_normal
+
+
+def _grid_pot4() -> np.ndarray:
+    # power-of-two codes: 0 plus 2^-6 .. 2^0
+    return np.concatenate([[0.0], np.exp2(np.arange(-6, 1, dtype=np.float64))])
+
+
+def _grid_flint4() -> np.ndarray:
+    # float-int hybrid: exponent codes for small values, integer spacing
+    # near the top — ANT's flint intuition in 4 bits.
+    return np.sort(
+        np.unique(
+            np.concatenate(
+                [[0.0], np.exp2(np.arange(-4, 0, dtype=np.float64)), [0.625, 0.75, 0.875, 1.0]]
+            )
+        )
+    )
+
+
+CANDIDATE_GRIDS: dict[str, np.ndarray] = {
+    "int4": _grid_int4(),
+    "float4": _grid_float4(),
+    "pot4": _grid_pot4(),
+    "flint4": _grid_flint4(),
+}
+
+
+def _snap(x: np.ndarray, grid: np.ndarray) -> np.ndarray:
+    """Nearest-value projection of |x| in [0, 1] onto a normalized grid."""
+    idx = np.searchsorted(grid, np.abs(x))
+    idx = np.clip(idx, 1, len(grid) - 1)
+    lo = grid[idx - 1]
+    hi = grid[idx]
+    best = np.where(np.abs(x) - lo <= hi - np.abs(x), lo, hi)
+    return np.sign(x) * best
+
+
+def quantize_adaptive(x: np.ndarray, group: int, axis: int = -1) -> np.ndarray:
+    """Adaptive-type fake quantization: per group, best grid by MSE."""
+    blocked = to_blocks(x, group, axis)
+    data = blocked.data
+    amax = np.max(np.abs(data), axis=-1, keepdims=True)
+    safe = np.where(amax == 0, 1.0, amax)
+    scaled = data / safe
+
+    best = None
+    best_err = None
+    for grid in CANDIDATE_GRIDS.values():
+        q = _snap(scaled, grid)
+        err = np.sum((scaled - q) ** 2, axis=-1, keepdims=True)
+        if best is None:
+            best, best_err = q, err
+        else:
+            take = err < best_err
+            best = np.where(take, q, best)
+            best_err = np.where(take, err, best_err)
+    out = np.where(amax == 0, 0.0, best * safe)
+    return from_blocks(blocked, out)
+
+
+@dataclass
+class ANTContext(SchemeContext):
+    group: int = -1  # per-tensor (original ANT); 32 for MX-ANT
+    name: str = "ant"
+
+    def quantize_matmul_pair(self, x: np.ndarray, w: np.ndarray):
+        x = self._base(np.asarray(x, dtype=np.float64))
+        w = self._base(np.asarray(w, dtype=np.float64))
+        gx = x.shape[-1] if self.group == -1 else self.group
+        gw = w.shape[0] if self.group == -1 else self.group
+        return (
+            quantize_adaptive(x, gx, axis=-1),
+            quantize_adaptive(w, gw, axis=0),
+        )

@@ -1,0 +1,51 @@
+"""Atom (Zhao et al., MLSys'24) — mixed INT4/INT8 with channel reordering.
+
+Channels are reordered by activation magnitude; the top ``n_outlier``
+channels are kept in INT8 while the rest use group-wise INT4, both with
+floating-point scales. Reordering makes the outlier set contiguous so
+hardware kernels stay regular.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.intquant import quantize_int_groupwise
+from .base import SchemeContext
+
+__all__ = ["AtomContext"]
+
+
+@dataclass
+class AtomContext(SchemeContext):
+    n_outlier: int = 16
+    group: int = 32
+    name: str = "atom"
+
+    def quantize_matmul_pair(self, x: np.ndarray, w: np.ndarray):
+        x = self._base(np.asarray(x, dtype=np.float64))
+        w = self._base(np.asarray(w, dtype=np.float64))
+        amax = np.max(np.abs(x.reshape(-1, x.shape[-1])), axis=0)
+        order = np.argsort(-amax, kind="stable")
+        inv = np.argsort(order)
+
+        x_r = x[..., order]
+        w_r = w[order, :]
+        k = self.n_outlier
+        xq = np.concatenate(
+            [
+                quantize_int_groupwise(x_r[..., :k], 8, group=-1, axis=-1),
+                quantize_int_groupwise(x_r[..., k:], 4, group=self.group, axis=-1),
+            ],
+            axis=-1,
+        )
+        wq = np.concatenate(
+            [
+                quantize_int_groupwise(w_r[:k, :], 8, group=-1, axis=0),
+                quantize_int_groupwise(w_r[k:, :], 4, group=self.group, axis=0),
+            ],
+            axis=0,
+        )
+        return xq[..., inv], wq[inv, :]

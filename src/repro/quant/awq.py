@@ -1,0 +1,46 @@
+"""AWQ (Lin et al., MLSys'24) — activation-aware weight-only quantization.
+
+AWQ protects *salient* weight channels (those fed by large activations) by
+scaling them up before quantization and folding the inverse scale into the
+activations: ``(x / s)(s * W) = x W``. Only weights are quantized (Table 8
+pairs AWQ activations in BF16 with INT4 / MXFP4 / MXFP4+ weights). The
+paper's synergy result: scaling makes important weights likely to be the
+block max, which MXFP4+ then stores with extra precision.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.blocks import BlockFormat
+from ..core.intquant import quantize_int_groupwise
+from .base import SchemeContext
+
+__all__ = ["AWQContext"]
+
+
+@dataclass
+class AWQContext(SchemeContext):
+    alpha: float = 0.5
+    bits: int = 4
+    group: int = 32
+    weight_format: BlockFormat | None = None  # None -> INT4 group-wise
+    name: str = "awq"
+
+    def quantize_matmul_pair(self, x: np.ndarray, w: np.ndarray):
+        x = self._base(np.asarray(x, dtype=np.float64))
+        w = self._base(np.asarray(w, dtype=np.float64))
+        amax_x = np.max(np.abs(x.reshape(-1, x.shape[-1])), axis=0)
+        s = np.maximum(amax_x, 1e-12) ** self.alpha
+        s = s / np.maximum(np.mean(s), 1e-12)  # normalize the overall scale
+        s = np.maximum(s, 1e-6)
+
+        w_scaled = w * s[:, None]
+        if self.weight_format is not None:
+            wq = self.weight_format.quantize_dequantize(w_scaled, axis=0)
+        else:
+            wq = quantize_int_groupwise(w_scaled, self.bits, group=self.group, axis=0)
+        # activations stay high precision (weight-only scheme)
+        return x / s, wq

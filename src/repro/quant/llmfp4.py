@@ -1,0 +1,53 @@
+"""LLM-FP4 (Liu et al., EMNLP'23) — FP4 with per-channel exponent biases.
+
+Weights use E2M1 with a per-output-channel scale chosen by a small
+exponent-bias grid search (minimizing MSE); activations use per-token
+scales with the same search. This is the accuracy-relevant core of the
+scheme; the paper observes it trails MXFP4 in their setting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.elem import E2M1
+from .base import SchemeContext
+
+__all__ = ["LLMFP4Context", "quantize_fp4_bias_search"]
+
+
+def quantize_fp4_bias_search(x: np.ndarray, axis: int, n_bias: int = 4) -> np.ndarray:
+    """E2M1 quantization with a per-slice exponent-bias (scale) search."""
+    x = np.asarray(x, dtype=np.float64)
+    moved = np.moveaxis(x, axis, -1)
+    amax = np.max(np.abs(moved), axis=-1, keepdims=True)
+    safe = np.where(amax == 0, 1.0, amax)
+
+    best = None
+    best_err = None
+    for k in range(n_bias):
+        scale = safe / E2M1.max_normal * (2.0**-k)
+        q = E2M1.quantize(moved / scale) * scale
+        err = np.sum((moved - q) ** 2, axis=-1, keepdims=True)
+        if best is None:
+            best, best_err = q, err
+        else:
+            take = err < best_err
+            best = np.where(take, q, best)
+            best_err = np.where(take, err, best_err)
+    best = np.where(amax == 0, 0.0, best)
+    return np.moveaxis(best, -1, axis)
+
+
+@dataclass
+class LLMFP4Context(SchemeContext):
+    name: str = "llm-fp4"
+
+    def quantize_matmul_pair(self, x: np.ndarray, w: np.ndarray):
+        x = self._base(np.asarray(x, dtype=np.float64))
+        w = self._base(np.asarray(w, dtype=np.float64))
+        xq = quantize_fp4_bias_search(x, axis=-1)  # per-token
+        wq = quantize_fp4_bias_search(w, axis=0)  # per input channel
+        return xq, wq

@@ -1,0 +1,70 @@
+"""OliVe (Guo et al., ISCA'23) — outlier-victim pair quantization.
+
+Outliers (3-sigma rule) are stored with a wide "abfloat" encoding by
+sacrificing ("pruning to zero") their adjacent *victim* element, keeping
+the memory layout aligned. Non-outliers use INT4. The original operates
+per tensor; MX-OliVe (the paper's variant) uses groups of 32 with
+floating-point scales.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.blocks import from_blocks, to_blocks
+from ..core.elem import E4M3, round_half_even
+from .base import SchemeContext
+
+__all__ = ["OliVeContext", "quantize_olive"]
+
+
+def quantize_olive(x: np.ndarray, group: int, axis: int = -1) -> np.ndarray:
+    """Outlier-victim pair fake quantization over groups along ``axis``."""
+    blocked = to_blocks(x, group, axis)
+    data = blocked.data
+
+    mu = np.mean(data)
+    sigma = np.std(data)
+    outlier = np.abs(data - mu) > 3.0 * sigma
+
+    # Victims: the pair neighbour of each outlier (even/odd pairing) is
+    # zeroed; if both elements of a pair are outliers, the smaller one
+    # becomes the victim.
+    shape = data.shape
+    pairs = data.reshape(shape[:-1] + (shape[-1] // 2, 2))
+    po = outlier.reshape(pairs.shape)
+    both = po[..., 0] & po[..., 1]
+    keep_first = np.abs(pairs[..., 0]) >= np.abs(pairs[..., 1])
+    victim0 = (po[..., 1] & ~po[..., 0]) | (both & ~keep_first)
+    victim1 = (po[..., 0] & ~po[..., 1]) | (both & keep_first)
+    victim = np.stack([victim0, victim1], axis=-1).reshape(shape)
+    is_outlier = outlier & ~victim
+
+    # Non-outliers: INT4 against the non-outlier group max.
+    normal = np.where(is_outlier | victim, 0.0, data)
+    amax = np.max(np.abs(normal), axis=-1, keepdims=True)
+    safe = np.where(amax == 0, 1.0, amax)
+    step = safe / 7.0
+    q_normal = np.clip(round_half_even(normal / step), -7, 7) * step
+
+    # Outliers: wide-range float encoding (abfloat ~ E4M3-like grid).
+    q_outlier = E4M3.quantize(data / (safe * 64.0)) * (safe * 64.0)
+
+    out = np.where(is_outlier, q_outlier, np.where(victim, 0.0, q_normal))
+    out = np.where(amax == 0, np.where(is_outlier, q_outlier, 0.0), out)
+    return from_blocks(blocked, out)
+
+
+@dataclass
+class OliVeContext(SchemeContext):
+    group: int = -1  # per-tensor (original); 32 for MX-OliVe
+    name: str = "olive"
+
+    def quantize_matmul_pair(self, x: np.ndarray, w: np.ndarray):
+        x = self._base(np.asarray(x, dtype=np.float64))
+        w = self._base(np.asarray(w, dtype=np.float64))
+        gx = x.shape[-1] if self.group == -1 else self.group
+        gw = w.shape[0] if self.group == -1 else self.group
+        return quantize_olive(x, gx, axis=-1), quantize_olive(w, gw, axis=0)

@@ -1,0 +1,66 @@
+"""QuaRot (Ashkboos et al., NeurIPS'24) — rotate activations before quantizing.
+
+A fixed random orthogonal (randomized Hadamard) matrix ``Q`` is applied to
+the activation channels and its transpose to the weight rows:
+``(x Q)(Q^T W) = x W`` exactly. Rotation spreads outlier energy across
+channels, shrinking the max magnitude — but, as the paper observes, it
+does not remove outliers completely, and at 4-bit QuaRot trails MX+.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+from scipy.linalg import hadamard
+
+from ..core.blocks import BlockFormat
+from ..core.intquant import quantize_int_groupwise
+from .base import SchemeContext
+
+__all__ = ["random_hadamard", "QuaRotContext"]
+
+
+def random_hadamard(dim: int, seed: int = 0) -> np.ndarray:
+    """Randomized Hadamard: H diag(signs) / sqrt(dim); orthogonal.
+
+    Falls back to a random orthogonal matrix (QR of Gaussian) when ``dim``
+    is not a power of two.
+    """
+    rng = np.random.default_rng(seed)
+    if dim & (dim - 1) == 0:
+        h = hadamard(dim).astype(np.float64)
+        signs = rng.choice([-1.0, 1.0], size=dim)
+        return h * signs[None, :] / np.sqrt(dim)
+    q, _ = np.linalg.qr(rng.standard_normal((dim, dim)))
+    return q
+
+
+@dataclass
+class QuaRotContext(SchemeContext):
+    bits: int = 4
+    group: int = -1  # per-token / per-channel by default
+    mx_format: BlockFormat | None = None  # QuaRot (MXFP4) variant when set
+    seed: int = 0
+    name: str = "quarot"
+    _rotations: dict = field(default_factory=dict)
+
+    def _rotation(self, dim: int) -> np.ndarray:
+        if dim not in self._rotations:
+            self._rotations[dim] = random_hadamard(dim, self.seed)
+        return self._rotations[dim]
+
+    def quantize_matmul_pair(self, x: np.ndarray, w: np.ndarray):
+        x = self._base(np.asarray(x, dtype=np.float64))
+        w = self._base(np.asarray(w, dtype=np.float64))
+        q = self._rotation(w.shape[0])
+        x_r = x @ q
+        w_r = q.T @ w
+        if self.mx_format is not None:
+            return (
+                self.mx_format.quantize_dequantize(x_r, axis=-1),
+                self.mx_format.quantize_dequantize(w_r, axis=0),
+            )
+        xq = quantize_int_groupwise(x_r, self.bits, group=self.group, axis=-1)
+        wq = quantize_int_groupwise(w_r, self.bits, group=self.group, axis=0)
+        return xq, wq

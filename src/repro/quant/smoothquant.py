@@ -1,0 +1,54 @@
+"""SmoothQuant (Xiao et al., ICML'23) — activation-to-weight scale migration.
+
+Per output of the migration strength ``alpha``:
+
+    s_j = max|X_j|^alpha / max|W_j|^(1 - alpha)
+
+activations are divided by ``s`` and weights multiplied by it (an exact
+transform), then both sides are quantized — per-token INT for activations,
+per-channel INT for weights, or an MX format for the SMQ (MXFP4) variant
+of Table 7.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.blocks import BlockFormat
+from ..core.intquant import quantize_int_groupwise, quantize_int_tensor
+from .base import SchemeContext
+
+__all__ = ["SmoothQuantContext"]
+
+
+@dataclass
+class SmoothQuantContext(SchemeContext):
+    alpha: float = 0.5
+    bits: int = 4
+    mx_format: BlockFormat | None = None  # SMQ (MXFP4) variant when set
+    name: str = "smoothquant"
+
+    def quantize_matmul_pair(self, x: np.ndarray, w: np.ndarray):
+        x = self._base(np.asarray(x, dtype=np.float64))
+        w = self._base(np.asarray(w, dtype=np.float64))
+        amax_x = np.max(np.abs(x.reshape(-1, x.shape[-1])), axis=0)
+        amax_w = np.max(np.abs(w), axis=1)
+        s = np.maximum(amax_x, 1e-12) ** self.alpha / np.maximum(
+            amax_w, 1e-12
+        ) ** (1 - self.alpha)
+        s = np.maximum(s, 1e-6)
+        x_m = x / s
+        w_m = w * s[:, None]
+        if self.mx_format is not None:
+            return (
+                self.mx_format.quantize_dequantize(x_m, axis=-1),
+                self.mx_format.quantize_dequantize(w_m, axis=0),
+            )
+        # Static per-tensor activation scale (the deployed SMQ kernel) and
+        # per-output-channel weight scales — this is why SMQ collapses at
+        # 4 bits in Table 7.
+        xq = quantize_int_tensor(x_m, self.bits)
+        wq = quantize_int_groupwise(w_m, self.bits, group=-1, axis=0)
+        return xq, wq

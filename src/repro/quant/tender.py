@@ -1,0 +1,64 @@
+"""Tender (Lee et al., ISCA'24) — range-grouped channels with pow2 rescaling.
+
+Channels are partitioned by dynamic range into groups whose scale factors
+are powers of two apart, so accumulated partial sums can be *requantized*
+with shifts instead of multiplies. We implement the accuracy-relevant
+core: per-channel scales snapped to a power-of-two ladder relative to the
+tensor scale, then INT4 quantization. MX-Tender (the paper's variant)
+recomputes the ladder per two-row runtime group.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.elem import floor_log2, round_half_even
+from .base import SchemeContext
+
+__all__ = ["TenderContext", "quantize_tender"]
+
+
+def quantize_tender(x: np.ndarray, bits: int = 4, row_group: int = 0) -> np.ndarray:
+    """Channel-grouped INT quantization with pow2 ladder scales.
+
+    ``row_group > 0`` recomputes channel statistics per that many rows
+    (MX-Tender's runtime grouping); 0 = whole tensor.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    flat = x.reshape(-1, x.shape[-1])
+    if row_group and row_group < flat.shape[0]:
+        parts = [
+            quantize_tender(flat[i : i + row_group], bits, 0)
+            for i in range(0, flat.shape[0], row_group)
+        ]
+        return np.concatenate(parts, axis=0).reshape(x.shape)
+
+    qmax = (1 << (bits - 1)) - 1
+    cmax = np.max(np.abs(flat), axis=0)
+    live = cmax > 0
+    if not np.any(live):
+        return np.zeros_like(x)
+    # Ladder: each channel's scale is the tensor scale >> k, k >= 0 chosen
+    # from the channel's own max exponent (clamped to 2^3 below the top).
+    top = int(np.max(floor_log2(cmax[live])))
+    ch_exp = np.where(live, np.clip(floor_log2(np.maximum(cmax, 1e-300)), top - 3, top), top)
+    scale = np.exp2(ch_exp.astype(np.float64)) * 2.0 / qmax  # per-channel
+    q = np.clip(round_half_even(flat / scale), -qmax, qmax) * scale
+    q = np.where(live[None, :], q, 0.0)
+    return q.reshape(x.shape)
+
+
+@dataclass
+class TenderContext(SchemeContext):
+    bits: int = 4
+    row_group: int = 0  # 0 = per tensor (original); 2 = MX-Tender
+    name: str = "tender"
+
+    def quantize_matmul_pair(self, x: np.ndarray, w: np.ndarray):
+        x = self._base(np.asarray(x, dtype=np.float64))
+        w = self._base(np.asarray(w, dtype=np.float64))
+        xq = quantize_tender(x, self.bits, self.row_group)
+        wq = quantize_tender(w.T, self.bits, 0).T  # weights: per input channel
+        return xq, wq

@@ -1,0 +1,185 @@
+"""Tests for the data substrates, model zoo, and evaluation harness."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.data.corpus import DATASETS, CorpusSpec, make_corpus
+from repro.data.images import make_images
+from repro.data.tasks import TASKS, make_task
+from repro.eval import perplexity, score_continuations, task_accuracy
+from repro.eval.reorder_calib import attention_inputs, calibrate_qk_permutations, reorder_context
+from repro.models.outliers import inject_outliers, inject_qk_outliers, verify_equivalence
+from repro.models.zoo import ARCHS, PROFILES, get_corpus, load_model
+from repro.nn.quantize import QuantContext
+from repro.nn.transformer import TransformerLM
+
+
+@pytest.fixture(scope="module")
+def tiny():
+    return load_model("test-tiny")
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return get_corpus("wiki2-sim", 60_000)
+
+
+class TestCorpus:
+    def test_deterministic(self):
+        spec = dataclasses.replace(DATASETS["wiki2-sim"], train_tokens=2000, val_tokens=500)
+        a, b = make_corpus(spec), make_corpus(spec)
+        np.testing.assert_array_equal(a.train, b.train)
+
+    def test_row_stochastic(self):
+        c = make_corpus(dataclasses.replace(DATASETS["wiki2-sim"], train_tokens=1000))
+        np.testing.assert_allclose(c.transitions.sum(axis=1), 1.0)
+
+    def test_entropy_floor_positive(self):
+        c = make_corpus(dataclasses.replace(DATASETS["wiki2-sim"], train_tokens=1000))
+        assert 0 < c.entropy_rate() < np.log(c.spec.vocab_size)
+
+    def test_val_batch_shape(self):
+        c = make_corpus(dataclasses.replace(DATASETS["wiki2-sim"], train_tokens=1000))
+        batch = c.val_batch(4, 32)
+        assert batch.shape == (4, 33)
+
+    def test_datasets_differ(self):
+        w = make_corpus(dataclasses.replace(DATASETS["wiki2-sim"], train_tokens=1000))
+        c = make_corpus(dataclasses.replace(DATASETS["c4-sim"], train_tokens=1000))
+        assert not np.array_equal(w.train[:500], c.train[:500])
+
+    def test_zipfian_marginals(self):
+        c = make_corpus(dataclasses.replace(DATASETS["wiki2-sim"], train_tokens=20000))
+        counts = np.bincount(c.train, minlength=c.spec.vocab_size)
+        assert counts[:16].sum() > counts[64:].sum()
+
+
+class TestTasks:
+    def test_task_shapes(self, corpus):
+        task = make_task(corpus, TASKS["arc_easy-sim"])
+        n = task.spec.n_questions
+        assert task.prompts.shape == (n, task.spec.prompt_len)
+        assert task.choices.shape == (n, task.spec.n_choices, task.spec.cont_len)
+
+    def test_answers_in_range(self, corpus):
+        task = make_task(corpus, TASKS["lambada-sim"])
+        assert np.all(task.answers >= 0)
+        assert np.all(task.answers < task.spec.n_choices)
+
+    def test_deterministic(self, corpus):
+        t1 = make_task(corpus, TASKS["arc_easy-sim"])
+        t2 = make_task(corpus, TASKS["arc_easy-sim"])
+        np.testing.assert_array_equal(t1.choices, t2.choices)
+
+
+class TestImages:
+    def test_shapes_and_classes(self):
+        data = make_images(64, 32)
+        assert data.train_x.shape == (64, 12, 12)
+        assert set(np.unique(data.train_y)) <= set(range(8))
+
+    def test_noise_controls_difficulty(self):
+        clean = make_images(32, 8, noise=0.01)
+        noisy = make_images(32, 8, noise=2.0)
+        assert np.std(noisy.train_x) > np.std(clean.train_x)
+
+
+class TestZoo:
+    def test_profiles_cover_paper_models(self):
+        for name in ["opt-66b-sim", "llama-3.1-8b-sim", "mistral-7b-sim", "phi-4-14b-sim"]:
+            assert name in PROFILES
+
+    def test_archs_have_real_dims(self):
+        assert ARCHS["llama-2-13b"].dim == 5120
+        assert ARCHS["llama-3.1-70b"].n_kv_heads == 8  # GQA
+
+    def test_load_model_cached(self, tiny):
+        again = load_model("test-tiny")
+        assert again is tiny
+
+    def test_unknown_model(self):
+        with pytest.raises(KeyError):
+            load_model("gpt-5-sim")
+
+
+class TestOutlierInjection:
+    def test_gain_injection_exact(self, corpus):
+        cfg = dataclasses.replace(PROFILES["test-tiny"].config, name="inj-test")
+        original = TransformerLM(cfg)
+        transformed = TransformerLM(cfg)
+        transformed.load_state_dict(original.state_dict())
+        inject_outliers(transformed, channels=[3, 17], scale=64.0)
+        tokens = corpus.val[:33][None, :]
+        diff = verify_equivalence(original, transformed, tokens, atol=1e-6)
+        assert diff < 1e-6
+
+    def test_qk_injection_exact(self, corpus):
+        cfg = dataclasses.replace(PROFILES["test-tiny"].config, name="inj-test2")
+        original = TransformerLM(cfg)
+        transformed = TransformerLM(cfg)
+        transformed.load_state_dict(original.state_dict())
+        inject_qk_outliers(transformed, channels=[2], scale=16.0)
+        tokens = corpus.val[:33][None, :]
+        assert verify_equivalence(original, transformed, tokens, atol=1e-6) < 1e-6
+
+    def test_injection_changes_quantized(self, tiny, corpus):
+        # A *trained* model: the exact transform leaves BF16 behaviour
+        # intact but adds quantization damage.
+        model = TransformerLM(tiny.config)
+        model.load_state_dict(tiny.state_dict())
+        tokens = corpus.val[:129][None, :]
+        base_before = model.perplexity(tokens, QuantContext())
+        q_before = model.perplexity(tokens, QuantContext.named("mxfp4"))
+        inject_outliers(model, channels=[2, 33], scale=128.0)
+        base_after = model.perplexity(tokens, QuantContext())
+        q_after = model.perplexity(tokens, QuantContext.named("mxfp4"))
+        assert base_after == pytest.approx(base_before, rel=1e-3)
+        assert q_after > q_before
+
+
+class TestEvalHarness:
+    def test_perplexity_ordering(self, tiny, corpus):
+        base = perplexity(tiny, corpus, QuantContext(), batch=4, seq_len=64)
+        q4 = perplexity(tiny, corpus, QuantContext.named("mxfp4"), batch=4, seq_len=64)
+        q8 = perplexity(tiny, corpus, QuantContext.named("mxfp8"), batch=4, seq_len=64)
+        assert q4 > base
+        assert q8 < q4
+
+    def test_trained_model_beats_chance(self, tiny, corpus):
+        base = perplexity(tiny, corpus, QuantContext(), batch=4, seq_len=64)
+        assert base < corpus.spec.vocab_size / 2  # far better than uniform
+
+    def test_score_continuations_batched_consistent(self, tiny, corpus):
+        task = make_task(corpus, dataclasses.replace(TASKS["arc_easy-sim"], n_questions=8))
+        prompts = np.repeat(task.prompts, 4, axis=0)
+        conts = task.choices.reshape(-1, task.choices.shape[-1])
+        s_big = score_continuations(tiny, prompts, conts, batch_size=64)
+        s_small = score_continuations(tiny, prompts, conts, batch_size=3)
+        np.testing.assert_allclose(s_big, s_small, rtol=1e-10)
+
+    def test_task_accuracy_beats_chance(self, tiny, corpus):
+        task = make_task(corpus, dataclasses.replace(TASKS["arc_easy-sim"], n_questions=32))
+        acc = task_accuracy(tiny, task, QuantContext())
+        assert acc > 100.0 * task.chance_accuracy() + 10
+
+
+class TestReorderCalibration:
+    def test_attention_inputs_shape(self, tiny, corpus):
+        acts = attention_inputs(tiny, corpus.val[:65])
+        assert len(acts) == len(tiny.blocks)
+        assert acts[0].shape[-1] == tiny.config.dim
+
+    def test_permutations_valid(self, tiny, corpus):
+        perms = calibrate_qk_permutations(tiny, corpus.val[:65])
+        for perm in perms.values():
+            assert sorted(perm.tolist()) == list(range(tiny.config.dim))
+
+    def test_reorder_context_exact_at_full_precision(self, tiny, corpus):
+        tokens = corpus.val[:65][None, :]
+        base = QuantContext(bf16_base=False)
+        ctx = reorder_context(tiny, corpus.val[:65], base)
+        a = tiny(tokens, base).data
+        b = tiny(tokens, ctx).data
+        np.testing.assert_allclose(a, b, atol=1e-9)

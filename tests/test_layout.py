@@ -1,0 +1,115 @@
+"""Bit-level layout tests (Figures 6-7): packing round-trips and storage."""
+
+import numpy as np
+import pytest
+
+from repro.core.layout import (
+    pack_bits,
+    pack_mx,
+    pack_mxplus,
+    unpack_bits,
+    unpack_mx,
+    unpack_mxplus,
+)
+from repro.core.mx import MXFP4, MXFP6, MXFP8
+from repro.core.mxplus import MXFP4Plus, MXFP6Plus, MXFP8Plus
+from repro.core.mxpp import MXFP4PlusPlus
+
+FIG4_UPPER_BF16 = np.array([-0.27, -0.19, 0.99, -0.20, -9.84, -0.39])
+
+
+class TestBitPacking:
+    @pytest.mark.parametrize("bits", [1, 3, 4, 6, 8, 13])
+    def test_roundtrip(self, bits):
+        rng = np.random.default_rng(bits)
+        codes = rng.integers(0, 1 << bits, size=97).astype(np.uint32)
+        buf = pack_bits(codes, bits)
+        np.testing.assert_array_equal(unpack_bits(buf, bits, 97), codes)
+
+    def test_density(self):
+        codes = np.zeros(32, dtype=np.uint32)
+        assert len(pack_bits(codes, 4)) == 16  # 32 * 4 bits = 16 bytes
+        assert len(pack_bits(codes, 6)) == 24
+
+
+class TestMXPacking:
+    @pytest.mark.parametrize("factory", [MXFP4, MXFP6, MXFP8], ids=["4", "6", "8"])
+    def test_roundtrip(self, factory):
+        rng = np.random.default_rng(0)
+        x = rng.standard_normal((4, 96)) * 3
+        fmt = factory()
+        enc = fmt.encode(x)
+        packed = pack_mx(fmt, enc)
+        enc2 = unpack_mx(fmt, packed)
+        np.testing.assert_allclose(fmt.decode(enc2), fmt.decode(enc))
+
+    def test_mxfp4_storage_per_block(self):
+        # 32 elements * 4 bits + 8-bit scale = 17 bytes per block.
+        fmt = MXFP4()
+        x = np.zeros((1, 32))
+        x[0, 0] = 1.0
+        packed = pack_mx(fmt, fmt.encode(x))
+        assert packed.total_bytes() == 17
+
+    def test_average_bits(self):
+        fmt = MXFP4()
+        x = np.ones((1, 32 * 100))
+        packed = pack_mx(fmt, fmt.encode(x))
+        assert packed.total_bytes() * 8 / (32 * 100) == pytest.approx(4.25)
+
+
+class TestMXPlusPacking:
+    @pytest.mark.parametrize(
+        "factory", [MXFP4Plus, MXFP6Plus, MXFP8Plus, MXFP4PlusPlus],
+        ids=["4+", "6+", "8+", "4++"],
+    )
+    def test_roundtrip(self, factory):
+        rng = np.random.default_rng(1)
+        x = rng.standard_normal((4, 96)) * np.exp(rng.uniform(-2, 2, (4, 1)))
+        x[rng.random((4, 96)) < 0.05] *= 40
+        fmt = factory()
+        enc = fmt.encode(x)
+        packed = pack_mxplus(fmt, enc)
+        enc2 = unpack_mxplus(fmt, packed)
+        np.testing.assert_allclose(fmt.decode(enc2), fmt.decode(enc))
+
+    def test_sideband_encoding(self):
+        fmt = MXFP4Plus()
+        enc = fmt.encode(FIG4_UPPER_BF16)
+        packed = pack_mxplus(fmt, enc)
+        sideband = np.frombuffer(packed.sideband, dtype=np.uint8)
+        assert (sideband[0] >> 3) == 4  # BM index of -9.84
+        assert (sideband[0] & 0x7) == 0  # reserved bits zero for MX+
+
+    def test_mxpp_delta_in_sideband(self):
+        fmt = MXFP4PlusPlus()
+        enc = fmt.encode(FIG4_UPPER_BF16)
+        packed = pack_mxplus(fmt, enc)
+        sideband = np.frombuffer(packed.sideband, dtype=np.uint8)
+        assert (sideband[0] & 0x7) == 3  # delta from Section 4.3 example
+
+    def test_storage_overhead(self):
+        # MXFP4+: 17 bytes (MX) + 1 sideband byte = 18 per block -> 4.5 b/e.
+        fmt = MXFP4Plus()
+        x = np.zeros((1, 32))
+        x[0, 0] = 1.0
+        packed = pack_mxplus(fmt, fmt.encode(x))
+        assert packed.total_bytes() == 18
+        assert packed.total_bytes() * 8 / 32 == pytest.approx(4.5)
+
+    def test_fig6_bm_binary_encoding(self):
+        # Figure 6: MXFP4+ stores the BM (-9.84 -> -10.0, scaled -5.0,
+        # fraction 1.25 -> code 010) as S=1, MMM=010 -> 0b1010.
+        fmt = MXFP4Plus()
+        enc = fmt.encode(FIG4_UPPER_BF16)
+        packed = pack_mxplus(fmt, enc)
+        codes = unpack_bits(packed.elements, 4, 32)
+        assert codes[4] == 0b1010
+
+    def test_flush_block_packs_scale_zero(self):
+        fmt = MXFP4Plus()
+        x = np.full((1, 32), 2.0**-130)
+        packed = pack_mxplus(fmt, fmt.encode(x))
+        assert np.frombuffer(packed.scales, dtype=np.uint8)[0] == 0
+        enc2 = unpack_mxplus(fmt, packed)
+        np.testing.assert_array_equal(fmt.decode(enc2), 0.0)

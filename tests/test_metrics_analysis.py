@@ -1,0 +1,186 @@
+"""Tests for metrics, the Figure 5 MSE decomposition, top-k promotion
+(Figure 14), and channel reordering (Section 8.3 / Table 12)."""
+
+import numpy as np
+import pytest
+
+from repro.core.metrics import (
+    block_outlier_counts,
+    mse,
+    mse_decomposition,
+    outlier_mask_3sigma,
+    sqnr_db,
+)
+from repro.core.mx import MXFP4
+from repro.core.mxplus import MXFP4Plus
+from repro.core.reorder import (
+    apply_reorder,
+    channel_outlier_counts,
+    multi_outlier_block_rate,
+    reorder_permutation,
+)
+from repro.core.topk import TopKPromoteFormat, promoted_fraction
+
+
+def outlier_activations(rows=128, cols=256, channels=(7, 40, 41), scale=30, seed=0):
+    rng = np.random.default_rng(seed)
+    x = rng.standard_normal((rows, cols))
+    for c in channels:
+        x[:, c] *= scale
+    return x
+
+
+class TestMetrics:
+    def test_mse_zero_for_identical(self):
+        x = np.ones((4, 4))
+        assert mse(x, x) == 0.0
+
+    def test_sqnr_infinite_for_exact(self):
+        x = np.ones((4, 4))
+        assert sqnr_db(x, x) == float("inf")
+
+    def test_sqnr_increases_with_precision(self):
+        # MXFP6 and MXFP8 share 3 mantissa bits (and E4M3's NaN reservation
+        # can even favour MXFP6 on outlier-free data — see test_mx.py), so
+        # we only assert both clear MXFP4 by a wide margin.
+        from repro.core.mx import MXFP6, MXFP8
+
+        rng = np.random.default_rng(1)
+        x = rng.standard_normal((16, 64))
+        s4 = sqnr_db(x, MXFP4()(x))
+        assert sqnr_db(x, MXFP6()(x)) > s4 + 6
+        assert sqnr_db(x, MXFP8()(x)) > s4 + 6
+
+
+class TestFig5Decomposition:
+    def test_bm_dominates_mse_with_outliers(self):
+        # Figure 5: with outlier-bearing activations, the BM elements
+        # contribute the majority of quantization MSE under MXFP4.
+        x = outlier_activations()
+        q = MXFP4()(x)
+        d = mse_decomposition(x, q)
+        assert d.bm_share > 0.5
+        assert d.largest_error_share >= d.bm_share  # largest-error is an upper bound
+
+    def test_bm_usually_is_largest_error(self):
+        x = outlier_activations()
+        q = MXFP4()(x)
+        d = mse_decomposition(x, q)
+        assert d.bm_is_largest_error_rate > 0.5
+
+    def test_mxplus_kills_bm_share(self):
+        # After MX+, the BM error collapses, so its share drops sharply.
+        x = outlier_activations()
+        d4 = mse_decomposition(x, MXFP4()(x))
+        dp = mse_decomposition(x, MXFP4Plus()(x))
+        assert dp.bm_share < d4.bm_share / 2
+
+    def test_exact_quantization(self):
+        x = np.zeros((1, 32))
+        d = mse_decomposition(x, x)
+        assert d.total_mse == 0.0
+
+
+class TestOutlierDetection:
+    def test_3sigma_flags_planted_outliers(self):
+        # The planted channels inflate sigma themselves, so the asymptotic
+        # hit rate is P(|z| > ~0.33) ~= 0.74 regardless of outlier scale;
+        # clean channels stay almost never flagged.
+        x = outlier_activations()
+        mask = outlier_mask_3sigma(x)
+        assert mask[:, 7].mean() > 0.6
+        assert mask[:, 100].mean() < 0.05
+
+    def test_no_outliers_in_constant(self):
+        assert not outlier_mask_3sigma(np.ones((4, 32))).any()
+
+    def test_block_outlier_counts(self):
+        x = outlier_activations(channels=(40, 41))
+        counts = block_outlier_counts(x)
+        # channels 40 and 41 land in block 1 of each row
+        assert counts[:, 1].mean() > 1.5
+        assert counts[:, 3].mean() < 0.2
+
+
+class TestTopKPromotion:
+    def test_error_decreases_with_k(self):
+        x = outlier_activations(channels=(4, 9), scale=40)
+        errs = [mse(x, TopKPromoteFormat(k)(x)) for k in (1, 2, 3, 4)]
+        assert errs[0] >= errs[1] >= errs[2] >= errs[3]
+
+    def test_diminishing_returns(self):
+        # Figure 14: the jump from top-1 to top-2 exceeds top-2 to top-4.
+        x = outlier_activations(channels=(4, 9), scale=40)
+        errs = {k: mse(x, TopKPromoteFormat(k)(x)) for k in (1, 2, 4)}
+        assert errs[1] - errs[2] > errs[2] - errs[4]
+
+    def test_promoted_fraction_increases(self):
+        x = outlier_activations(channels=(4, 9, 37), scale=40)
+        fracs = [promoted_fraction(x, k) for k in (1, 2, 3)]
+        assert fracs[0] <= fracs[1] <= fracs[2]
+        assert fracs[2] > 0.9
+
+    def test_emax_mismatch_rejected(self):
+        from repro.core.elem import E2M1, E3M2
+
+        with pytest.raises(ValueError):
+            TopKPromoteFormat(1, base=E2M1, promoted=E3M2)
+
+
+class TestChannelReordering:
+    def test_permutation_is_valid(self):
+        counts = np.arange(256)[::-1]
+        perm = reorder_permutation(counts)
+        assert sorted(perm.tolist()) == list(range(256))
+
+    def test_top_channels_one_per_block(self):
+        # The heaviest channels must land at positions 0, 32, 64, ...
+        counts = np.zeros(128, dtype=int)
+        counts[[3, 50, 90, 127]] = [10, 9, 8, 7]
+        perm = reorder_permutation(counts, block_size=32)
+        anchors = perm[np.arange(4) * 32]
+        assert set(anchors.tolist()) == {3, 50, 90, 127}
+
+    def test_matmul_invariance(self):
+        rng = np.random.default_rng(2)
+        x = rng.standard_normal((8, 64))
+        w = rng.standard_normal((64, 16))
+        perm = reorder_permutation(channel_outlier_counts(x), block_size=32)
+        xp, wp = apply_reorder(x, w, perm)
+        np.testing.assert_allclose(xp @ wp, x @ w, atol=1e-12)
+
+    def test_reordering_reduces_multi_outlier_blocks(self):
+        # Section 8.3: reordering scatters co-located outlier channels.
+        x = outlier_activations(channels=(40, 41, 42), scale=40)
+        before = multi_outlier_block_rate(x)
+        perm = reorder_permutation(channel_outlier_counts(x))
+        after = multi_outlier_block_rate(x[:, perm])
+        assert after < before
+
+    def test_reordering_reduces_mxplus_error(self):
+        # Heterogeneous outlier magnitudes co-located in one block: the
+        # smaller outliers are crushed by the largest one's shared scale
+        # until reordering gives each of them its own block (and BM slot).
+        rng = np.random.default_rng(9)
+        x = rng.standard_normal((128, 256))
+        for c, s in [(40, 100.0), (41, 30.0), (42, 10.0)]:
+            x[:, c] *= s
+        fmt = MXFP4Plus()
+        perm = reorder_permutation(channel_outlier_counts(x))
+        xp = x[:, perm]
+        assert mse(xp, fmt(xp)) < mse(x, fmt(x))
+
+    def test_reordering_reduces_outlier_element_error(self):
+        # "The improvement stems from more precise outlier representations"
+        # (Section 8.3): measure error on the outlier elements themselves.
+        rng = np.random.default_rng(10)
+        x = rng.standard_normal((128, 256))
+        for c, s in [(40, 100.0), (41, 30.0), (42, 10.0)]:
+            x[:, c] *= s
+        fmt = MXFP4Plus()
+        omask = outlier_mask_3sigma(x)
+        perm = reorder_permutation(channel_outlier_counts(x))
+        xp, omp = x[:, perm], omask[:, perm]
+        e_before = np.mean((x[omask] - fmt(x)[omask]) ** 2)
+        e_after = np.mean((xp[omp] - fmt(xp)[omp]) ** 2)
+        assert e_after < e_before

@@ -1,0 +1,167 @@
+"""Unit tests for OCP MX quantization (repro.core.mx) including the paper's
+Figure 4(b) worked example."""
+
+import numpy as np
+import pytest
+
+from repro.core.blocks import from_blocks, to_blocks
+from repro.core.mx import MXFP4, MXFP6, MXFP8, MXINT8, MXFormat
+from repro.core.elem import E2M1
+
+
+# The lower sampled block of Figure 4(b). These displayed values are exact
+# in binary-friendly arithmetic terms for MXFP4 (we verified the quantized
+# outputs the paper prints).
+FIG4_LOWER_BF16 = np.array([-0.27, 0.04, -1.02, 0.18, -0.45, -0.20])
+FIG4_LOWER_MXFP4 = np.array([-0.25, 0.0, -1.0, 0.125, -0.5, -0.25])
+
+# The upper sampled block (with the -9.84 outlier).
+FIG4_UPPER_BF16 = np.array([-0.27, -0.19, 0.99, -0.20, -9.84, -0.39])
+FIG4_UPPER_MXFP4 = np.array([0.0, 0.0, 1.0, 0.0, -8.0, 0.0])
+
+
+class TestBlocking:
+    def test_roundtrip_exact_multiple(self):
+        x = np.arange(64, dtype=np.float64).reshape(2, 32)
+        b = to_blocks(x, 32)
+        assert b.data.shape == (2, 1, 32)
+        np.testing.assert_array_equal(from_blocks(b), x)
+
+    def test_roundtrip_with_padding(self):
+        x = np.arange(40, dtype=np.float32).reshape(2, 20)
+        b = to_blocks(x, 32)
+        assert b.data.shape == (2, 1, 32)
+        out = from_blocks(b)
+        np.testing.assert_array_equal(out, x)
+        assert out.dtype == np.float32
+
+    def test_axis_handling(self):
+        rng = np.random.default_rng(0)
+        x = rng.standard_normal((3, 32, 5))
+        fmt = MXFP4()
+        q_axis1 = fmt.quantize_dequantize(x, axis=1)
+        q_manual = np.moveaxis(
+            fmt.quantize_dequantize(np.moveaxis(x, 1, -1)), -1, 1
+        )
+        np.testing.assert_allclose(q_axis1, q_manual)
+
+    def test_padding_does_not_change_scale(self):
+        # A 20-element row padded to 32 must quantize like the same row
+        # embedded in a 32-element row of zeros.
+        rng = np.random.default_rng(1)
+        row = rng.standard_normal(20)
+        padded = np.zeros(32)
+        padded[:20] = row
+        fmt = MXFP4()
+        np.testing.assert_allclose(fmt(row), fmt(padded)[:20])
+
+
+class TestMXFP4Paper:
+    def test_fig4_upper_block(self):
+        q = MXFP4()(FIG4_UPPER_BF16)
+        np.testing.assert_allclose(q, FIG4_UPPER_MXFP4)
+
+    def test_fig4_lower_block(self):
+        q = MXFP4()(FIG4_LOWER_BF16)
+        np.testing.assert_allclose(q, FIG4_LOWER_MXFP4)
+
+    def test_fig4_upper_shared_scale_is_two(self):
+        enc = MXFP4().encode(FIG4_UPPER_BF16)
+        assert enc.shared_exp.ravel()[0] == 1  # scale 2**1, as printed
+
+    def test_outlier_forces_nbm_to_zero(self):
+        # The paper's observation (2): large BM -> large shared scale ->
+        # most NBMs flush to zero in MXFP4.
+        q = MXFP4()(FIG4_UPPER_BF16)
+        nbm = np.delete(q, 4)
+        assert np.count_nonzero(nbm) == 1  # only 0.99 survives
+
+    def test_mxfp6_keeps_small_values(self):
+        q = MXFP6()(FIG4_UPPER_BF16)
+        assert np.count_nonzero(q) == 6  # all values survive at 6-bit
+
+
+class TestMXInvariants:
+    @pytest.mark.parametrize("factory", [MXFP4, MXFP6, MXFP8, MXINT8])
+    def test_idempotent(self, factory):
+        rng = np.random.default_rng(2)
+        x = rng.standard_normal((4, 64)) * 3
+        fmt = factory()
+        q = fmt(x)
+        np.testing.assert_allclose(fmt(q), q)
+
+    @pytest.mark.parametrize("factory", [MXFP4, MXFP6, MXFP8, MXINT8])
+    def test_zero_maps_to_zero(self, factory):
+        x = np.zeros((2, 64))
+        np.testing.assert_array_equal(factory()(x), x)
+
+    @pytest.mark.parametrize("factory", [MXFP4, MXFP6, MXFP8])
+    def test_scaling_equivariance_pow2(self, factory):
+        # Scaling inputs by a power of two scales outputs identically
+        # (power-of-two scales commute with BFP).
+        rng = np.random.default_rng(3)
+        x = rng.standard_normal((2, 64))
+        fmt = factory()
+        np.testing.assert_allclose(fmt(x * 4.0), fmt(x) * 4.0)
+
+    def test_bm_always_has_emax_exponent(self):
+        # The MX+ enabling insight: the scaled BM always lands in the top
+        # binade [2^emax, 2^(emax+1)) before element rounding.
+        rng = np.random.default_rng(4)
+        x = rng.standard_normal((16, 32)) * np.exp(rng.uniform(-3, 3, (16, 1)))
+        enc = MXFP4().encode(x)
+        blocked = to_blocks(x, 32)
+        scaled = blocked.data / np.exp2(enc.shared_exp.astype(float))[..., None]
+        bm = np.max(np.abs(scaled), axis=-1)
+        emax = E2M1.emax
+        assert np.all(bm >= 2.0**emax)
+        assert np.all(bm < 2.0 ** (emax + 1))
+
+    def test_error_decreases_with_bits(self):
+        rng = np.random.default_rng(5)
+        x = rng.standard_normal((8, 256))
+        errs = [np.mean((x - f()(x)) ** 2) for f in (MXFP4, MXFP6, MXFP8)]
+        assert errs[0] > errs[1]
+        assert errs[0] > errs[2]
+
+    def test_e4m3_nan_reservation_cost(self):
+        # Section 3.1: MXFP8 (E4M3) can trail MXFP6 (E2M3) on outlier-free
+        # data because the NaN-reserved code caps max_normal at 448 (1.110)
+        # instead of 480 (1.111), clipping block maxima. Both codecs have
+        # 3 mantissa bits, so this is the only systematic difference for
+        # well-conditioned blocks.
+        x = np.full((1, 32), 1.0)
+        x[0, 0] = 1.9375  # scaled BM lands at 1.1111... in the top binade
+        e6 = np.mean((x - MXFP6()(x)) ** 2)
+        e8 = np.mean((x - MXFP8()(x)) ** 2)
+        assert e8 > e6
+
+    def test_bits_per_element(self):
+        assert MXFP4().bits_per_element() == pytest.approx(4.25)
+        assert MXFP6().bits_per_element() == pytest.approx(6.25)
+        assert MXFP8().bits_per_element() == pytest.approx(8.25)
+        assert MXINT8().bits_per_element() == pytest.approx(8.25)
+
+    def test_tiny_values_clamped_scale(self):
+        # Values near the bottom of the E8M0 range still round-trip finitely.
+        x = np.full((1, 32), 1e-42)
+        q = MXFP4()(x)
+        assert np.all(np.isfinite(q))
+
+    def test_values_on_grid(self):
+        rng = np.random.default_rng(6)
+        x = rng.standard_normal((4, 32))
+        enc = MXFP4().encode(x)
+        grid = E2M1.representable_values()
+        full = np.concatenate([-grid[::-1], grid])
+        assert np.all(np.isin(enc.elem_values.ravel(), full))
+
+    def test_custom_block_size(self):
+        fmt = MXFormat(E2M1, block_size=8, name="mxfp4-k8")
+        rng = np.random.default_rng(7)
+        x = rng.standard_normal((4, 64))
+        x[:, 3] *= 100
+        # Smaller blocks confine the outlier: error must not be worse.
+        e8 = np.mean((x - fmt(x)) ** 2)
+        e32 = np.mean((x - MXFP4()(x)) ** 2)
+        assert e8 <= e32

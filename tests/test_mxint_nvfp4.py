@@ -1,0 +1,143 @@
+"""Unit tests for the MXINT(+) and NVFP4(+) extensions (Section 8.2)."""
+
+import numpy as np
+import pytest
+
+from repro.core.elem import E4M3
+from repro.core.mx import MXINT8
+from repro.core.mxint_plus import MXINT4, MXINT4Plus, MXINT8PlusFormat, MXIntFormat
+from repro.core.nvfp4 import NVFP4, NVFP4Plus
+
+
+class TestMXInt:
+    def test_mxint8_matches_mx_module(self):
+        # The generic MXIntFormat and the MXFormat-with-IntCodec route must
+        # agree (both implement the OCP MXINT8).
+        rng = np.random.default_rng(0)
+        x = rng.standard_normal((8, 64)) * 4
+        np.testing.assert_allclose(MXIntFormat(8)(x), MXINT8()(x))
+
+    def test_mxint8_resolution(self):
+        # One sign + one integer + six fraction bits: ulp of a block with
+        # max 1.0 is 2^-6.
+        x = np.zeros(32)
+        x[0] = 1.0
+        x[1] = 3 * 2.0**-7  # 1.5 ulp -> rounds to even (2^-5... no: 2*2^-6)
+        q = MXIntFormat(8)(x)
+        assert q[1] == pytest.approx(2 * 2.0**-6)
+
+    def test_mxint4_resolution(self):
+        x = np.zeros(32)
+        x[0] = 1.0
+        q = MXIntFormat(4)(x)
+        assert q[0] == pytest.approx(1.0)
+        # max code 7 -> max representable 7/4 = 1.75 at scale 1
+        x2 = np.zeros(32)
+        x2[0] = 1.9
+        q2 = MXIntFormat(4)(x2)
+        assert q2[0] == pytest.approx(1.75)
+
+    @pytest.mark.parametrize(
+        "base,plus",
+        [(MXINT4, MXINT4Plus), (MXINT8, MXINT8PlusFormat)],
+        ids=["int4", "int8"],
+    )
+    def test_plus_bm_error_never_worse(self, base, plus):
+        rng = np.random.default_rng(1)
+        x = rng.standard_normal((128, 32)) * np.exp(rng.uniform(-3, 3, (128, 1)))
+        qb, qp = base()(x), plus()(x)
+        bm = np.argmax(np.abs(x), axis=-1)
+        rows = np.arange(128)
+        assert np.all(
+            np.abs(x[rows, bm] - qp[rows, bm]) <= np.abs(x[rows, bm] - qb[rows, bm]) + 1e-12
+        )
+
+    def test_int8_plus_gain_is_marginal(self):
+        # Table 10: going from 6 to 7 BM fraction bits barely helps.
+        rng = np.random.default_rng(2)
+        x = rng.standard_normal((256, 32))
+        e8 = np.mean((x - MXINT8()(x)) ** 2)
+        e8p = np.mean((x - MXINT8PlusFormat()(x)) ** 2)
+        assert e8p <= e8
+        assert (e8 - e8p) / e8 < 0.05
+
+    def test_int4_plus_gain_is_visible(self):
+        # Table 10: MXINT4 benefits like MXFP4+ does.
+        rng = np.random.default_rng(3)
+        x = rng.standard_normal((256, 32))
+        x[np.abs(x) > 2.5] *= 20
+        e4 = np.mean((x - MXINT4()(x)) ** 2)
+        e4p = np.mean((x - MXINT4Plus()(x)) ** 2)
+        assert (e4 - e4p) / e4 > 0.05
+
+    def test_zero_block(self):
+        for fmt in (MXINT4(), MXINT4Plus(), MXINT8PlusFormat()):
+            np.testing.assert_array_equal(fmt(np.zeros((2, 32))), 0.0)
+
+
+class TestNVFP4:
+    def test_block_size_16(self):
+        assert NVFP4().block_size == 16
+
+    def test_scale_is_e4m3(self):
+        # NVFP4 scale = amax/6 rounded to E4M3; verify via reconstruction.
+        x = np.zeros(16)
+        x[0] = 12.0  # scale = 2.0 exactly (E4M3-representable)
+        q = NVFP4()(x)
+        assert q[0] == pytest.approx(12.0)
+
+    def test_non_pow2_scale(self):
+        # amax = 9 -> scale 1.5 (E4M3-representable), BM -> 9.0 exactly.
+        # MXFP4 with its pow2 scale cannot represent 9 (grid step 2 there).
+        from repro.core.mx import MXFP4
+
+        x = np.zeros(16)
+        x[0] = 9.0
+        assert NVFP4()(x)[0] == pytest.approx(9.0)
+        assert MXFP4()(np.pad(x, (0, 16)))[0] != pytest.approx(9.0)
+
+    def test_plus_never_worse(self):
+        rng = np.random.default_rng(4)
+        x = rng.standard_normal((256, 16))
+        x[rng.random((256, 16)) < 0.05] *= 30
+        eb = np.mean((x - NVFP4()(x)) ** 2)
+        ep = np.mean((x - NVFP4Plus()(x)) ** 2)
+        assert ep <= eb + 1e-15
+
+    def test_plus_bm_extended(self):
+        # BM 6.36: raw scale 1.06 rounds *down* to E4M3 1.0, so the scaled
+        # BM lands at 6.36. Plain E2M1 snaps it to 6.0 (error 0.36); the
+        # extended BM grid (step 0.5) reaches 6.5 (error 0.14).
+        x = np.zeros(16)
+        x[0] = 6.36
+        x[1] = 1.0  # keep the block from being BM-only
+        qb = NVFP4()(x)
+        qp = NVFP4Plus()(x)
+        assert qb[0] == pytest.approx(6.0)
+        assert qp[0] == pytest.approx(6.5)
+        assert abs(qp[0] - 6.36) < abs(qb[0] - 6.36)
+
+    def test_fallback_when_bm_below_emax(self):
+        # If the E4M3 scale rounds up enough that the scaled BM drops below
+        # 2^emax, NVFP4+ falls back to the plain encoding for the block.
+        x = np.zeros(16)
+        x[0] = 6.5  # scale = e4m3(6.5/6 = 1.0833) -> 1.125; scaled 5.78 < ...
+        qb = NVFP4()(x)
+        qp = NVFP4Plus()(x)
+        # either equal (fallback) or better; never worse
+        assert abs(qp[0] - 6.5) <= abs(qb[0] - 6.5)
+
+    def test_zero_block(self):
+        np.testing.assert_array_equal(NVFP4()(np.zeros((2, 16))), 0.0)
+        np.testing.assert_array_equal(NVFP4Plus()(np.zeros((2, 16))), 0.0)
+
+    def test_bits_per_element(self):
+        assert NVFP4().bits_per_element() == pytest.approx(4.5)
+        assert NVFP4Plus().bits_per_element() == pytest.approx(4.75)
+
+    def test_tiny_block_scale_floor(self):
+        # Tiny but nonzero blocks use the min positive E4M3 scale rather
+        # than zeroing everything.
+        x = np.full((1, 16), 2.0**-12)
+        q = NVFP4()(x)
+        assert np.all(np.isfinite(q))

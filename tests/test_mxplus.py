@@ -1,0 +1,212 @@
+"""Unit tests for MX+ (repro.core.mxplus): the paper's core contribution."""
+
+import numpy as np
+import pytest
+
+from repro.core.blocks import to_blocks
+from repro.core.elem import E2M1, E2M3, E4M3
+from repro.core.mx import MXFP4, MXFP6, MXFP8
+from repro.core.mxplus import (
+    MXFP4Plus,
+    MXFP6Plus,
+    MXFP8Plus,
+    MXPlusFormat,
+    decompose_bm,
+)
+from repro.core.scale import ZERO_BLOCK_SENTINEL
+
+FIG4_UPPER_BF16 = np.array([-0.27, -0.19, 0.99, -0.20, -9.84, -0.39])
+
+PAIRS = [(MXFP4, MXFP4Plus), (MXFP6, MXFP6Plus), (MXFP8, MXFP8Plus)]
+
+
+class TestFig6Example:
+    """Figure 6: MXFP4+ represents -9.84 as -10.00 instead of MXFP4's -8.00."""
+
+    def test_bm_value(self):
+        q = MXFP4Plus()(FIG4_UPPER_BF16)
+        assert q[4] == pytest.approx(-10.0)
+
+    def test_nbm_values_match_mxfp4(self):
+        q4 = MXFP4()(FIG4_UPPER_BF16)
+        qp = MXFP4Plus()(FIG4_UPPER_BF16)
+        np.testing.assert_allclose(np.delete(qp, 4), np.delete(q4, 4))
+
+    def test_shared_scale_unchanged(self):
+        # "MX+ does not alter the shared scale."
+        enc4 = MXFP4().encode(FIG4_UPPER_BF16)
+        encp = MXFP4Plus().encode(FIG4_UPPER_BF16)
+        assert enc4.shared_exp.ravel()[0] == encp.shared_exp.ravel()[0] == 1
+
+    def test_bm_index_identified(self):
+        enc = MXFP4Plus().encode(FIG4_UPPER_BF16)
+        assert enc.bm_index.ravel()[0] == 4
+
+
+class TestBMRepresentation:
+    def test_bm_mbits(self):
+        assert MXFP4Plus().bm_mbits == 3  # E0M3 -> effective E2M3
+        assert MXFP6Plus().bm_mbits == 5  # E0M5 -> effective E2M5
+        assert MXFP8Plus().bm_mbits == 7  # E0M7 -> effective E4M7
+
+    @pytest.mark.parametrize("base,plus", PAIRS, ids=["fp4", "fp6", "fp8"])
+    def test_bm_error_never_worse(self, base, plus):
+        rng = np.random.default_rng(0)
+        x = rng.standard_normal((64, 32)) * np.exp(rng.uniform(-4, 4, (64, 1)))
+        qb, qp = base()(x), plus()(x)
+        bm = np.argmax(np.abs(x), axis=-1)
+        idx = (np.arange(64), bm)
+        assert np.all(np.abs(x[idx] - qp[idx]) <= np.abs(x[idx] - qb[idx]) + 1e-12)
+
+    @pytest.mark.parametrize("base,plus", PAIRS, ids=["fp4", "fp6", "fp8"])
+    def test_total_mse_never_worse(self, base, plus):
+        rng = np.random.default_rng(1)
+        x = rng.standard_normal((64, 32))
+        x[rng.random((64, 32)) < 0.02] *= 40  # sprinkle outliers
+        eb = np.mean((x - base()(x)) ** 2)
+        ep = np.mean((x - plus()(x)) ** 2)
+        assert ep <= eb + 1e-15
+
+    def test_bm_relative_error_bound(self):
+        # The extended BM has emax_ext fraction bits anchored in [1, 2):
+        # relative error <= 2^-(bm_mbits+1).
+        rng = np.random.default_rng(2)
+        x = rng.standard_normal((256, 32)) * 10
+        fmt = MXFP4Plus()
+        q = fmt(x)
+        bm = np.argmax(np.abs(x), axis=-1)
+        idx = (np.arange(256), bm)
+        rel = np.abs(x[idx] - q[idx]) / np.abs(x[idx])
+        assert np.max(rel) <= 2.0 ** -(fmt.bm_mbits + 1) + 1e-9
+
+    def test_bm_scaled_in_top_binade(self):
+        rng = np.random.default_rng(3)
+        x = rng.standard_normal((32, 32))
+        fmt = MXFP4Plus()
+        enc = fmt.encode(x)
+        bm_vals = np.take_along_axis(
+            enc.elem_values, enc.bm_index[..., None].astype(np.int64), axis=-1
+        )[..., 0]
+        assert np.all(np.abs(bm_vals) >= 2.0**E2M1.emax)
+        assert np.all(np.abs(bm_vals) < 2.0 ** (E2M1.emax + 1))
+
+    def test_idempotent_when_bm_dominant(self):
+        # MX+ is a fixed point when the quantized BM stays above what any
+        # NBM can round up to (6 * scale). A strictly dominant BM in the
+        # top half of its binade guarantees that. (With a *marginal* BM an
+        # NBM may saturate above it and take over the BM role on
+        # re-quantization — inherent to the format, and irrelevant in
+        # practice since encoded tensors are never re-encoded.)
+        rng = np.random.default_rng(4)
+        x = rng.standard_normal((8, 64))
+        x[:, 0] = 7.75  # BM: scaled 7.75, extended code 1.9375 -> 7.75 > 6
+        x[:, 32] = -7.75
+        fmt = MXFP4Plus()
+        q = fmt(x)
+        np.testing.assert_allclose(fmt(q), q)
+
+    def test_requantization_error_bounded(self):
+        # Even when the BM role shifts, re-quantization stays on coarse
+        # format grids and close to the first pass.
+        rng = np.random.default_rng(44)
+        x = rng.standard_normal((16, 64)) * 5
+        fmt = MXFP4Plus()
+        q1 = fmt(x)
+        q2 = fmt(q1)
+        assert np.mean((q1 - q2) ** 2) <= np.mean((x - q1) ** 2)
+
+    def test_ties_first_index_wins(self):
+        x = np.zeros(32)
+        x[7] = 3.0
+        x[20] = -3.0
+        enc = MXFP4Plus().encode(x)
+        assert enc.bm_index.ravel()[0] == 7
+
+
+class TestFlushToZero:
+    def test_tiny_block_flushes(self):
+        # floor(log2(BM)) <= -127 + emax  -> whole block flushed.
+        x = np.full((1, 32), 2.0**-126)
+        fmt = MXFP4Plus()
+        enc = fmt.encode(x)
+        assert enc.shared_exp.ravel()[0] == ZERO_BLOCK_SENTINEL
+        np.testing.assert_array_equal(fmt(x), 0.0)
+
+    def test_boundary_not_flushed(self):
+        # One exponent above the threshold survives.
+        x = np.full((1, 32), 2.0 ** (-124 + E2M1.emax))
+        fmt = MXFP4Plus()
+        enc = fmt.encode(x)
+        assert enc.shared_exp.ravel()[0] != ZERO_BLOCK_SENTINEL
+        assert np.all(fmt(x) != 0)
+
+    def test_all_zero_block(self):
+        fmt = MXFP4Plus()
+        x = np.zeros((2, 32))
+        np.testing.assert_array_equal(fmt(x), 0.0)
+
+    def test_flush_threshold_exact(self):
+        emax = E2M1.emax
+        at = np.full((1, 32), 2.0 ** (-127 + emax))  # == threshold: flush
+        above = np.full((1, 32), 2.0 ** (-126 + emax))  # one above: keep
+        fmt = MXFP4Plus()
+        assert np.all(fmt(at) == 0)
+        assert np.all(fmt(above) != 0)
+
+
+class TestDecomposeBM:
+    """Eq. (3): BM = BM_H + BM_L with both halves element-representable."""
+
+    @pytest.mark.parametrize("elem", [E2M1, E2M3], ids=lambda e: e.name)
+    def test_exact_split(self, elem):
+        fmt = MXPlusFormat(elem)
+        rng = np.random.default_rng(5)
+        x = rng.standard_normal((128, 32)) * 7
+        enc = fmt.encode(x)
+        bm_scaled = np.take_along_axis(
+            enc.elem_values, enc.bm_index[..., None].astype(np.int64), axis=-1
+        )[..., 0]
+        scale = np.exp2(enc.shared_exp.astype(np.float64))
+        bm_value = bm_scaled * scale
+        bm_h, bm_l = decompose_bm(bm_value, enc.shared_exp, elem)
+        np.testing.assert_allclose(bm_h + bm_l, bm_value, rtol=0, atol=1e-12)
+
+    def test_e4m3_split_rejected(self):
+        # E4M3's NaN-stolen top code makes the Eq. (3) high half
+        # unrepresentable; MXFP8+ uses the hardware path instead.
+        with pytest.raises(ValueError):
+            decompose_bm(np.array([448.0]), np.array([0]), E4M3)
+
+    @pytest.mark.parametrize("elem", [E2M1, E2M3], ids=lambda e: e.name)
+    def test_halves_are_element_representable(self, elem):
+        fmt = MXPlusFormat(elem)
+        rng = np.random.default_rng(6)
+        x = rng.standard_normal((64, 32)) * 3
+        enc = fmt.encode(x)
+        bm_scaled = np.take_along_axis(
+            enc.elem_values, enc.bm_index[..., None].astype(np.int64), axis=-1
+        )[..., 0]
+        scale = np.exp2(enc.shared_exp.astype(np.float64))
+        bm_h, bm_l = decompose_bm(bm_scaled * scale, enc.shared_exp, elem)
+        # After removing the shared scale, both halves must sit on the
+        # element grid so a stock MX Tensor Core can consume them.
+        np.testing.assert_allclose(elem.quantize(bm_h / scale), bm_h / scale)
+        np.testing.assert_allclose(elem.quantize(bm_l / scale), bm_l / scale)
+
+    def test_fig6_split(self):
+        # -10.0 with shared exp 1: scaled -5.0 = -4 * 1.25 -> um = 1010.
+        # BM_H = -4 (um[3:2]=10 -> 1.0 * 2^2), BM_L = -1 (um[1:0]=10 -> 1.0 * 2^0)
+        bm_h, bm_l = decompose_bm(np.array([-10.0]), np.array([1]), E2M1)
+        assert bm_h[0] == pytest.approx(-8.0)
+        assert bm_l[0] == pytest.approx(-2.0)
+
+
+class TestStorage:
+    def test_bits_overhead_quarter_bit(self):
+        # "The additional bits increase the average bit width by only 0.25."
+        assert MXFP4Plus().bits_per_element() - MXFP4().bits_per_element() == pytest.approx(0.25)
+        assert MXFP4Plus().bits_per_element() == pytest.approx(4.5)
+
+    def test_same_element_width_no_unaligned_access(self):
+        fmt = MXFP4Plus()
+        assert fmt.elem.bits == MXFP4().elem.bits

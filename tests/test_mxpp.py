@@ -1,0 +1,118 @@
+"""Unit tests for MX++ (repro.core.mxpp): decoupled NBM scale."""
+
+import numpy as np
+import pytest
+
+from repro.core.mx import MXFP4
+from repro.core.mxplus import MXFP4Plus
+from repro.core.mxpp import MXFP4PlusPlus, MXFP6PlusPlus, MXFP8PlusPlus
+from repro.core.scale import ZERO_BLOCK_SENTINEL
+
+FIG4_UPPER_BF16 = np.array([-0.27, -0.19, 0.99, -0.20, -9.84, -0.39])
+
+
+class TestPaperExample:
+    """Section 4.3's worked example on the Figure 4 upper block."""
+
+    def test_nbm_exponent_offset_rule(self):
+        # Second-largest exponent: 0.99 -> -1. e = -1 - 2 + 1 = -2.
+        enc = MXFP4PlusPlus().encode(FIG4_UPPER_BF16)
+        assert enc.shared_exp.ravel()[0] == 1
+        assert enc.nbm_shared_exp.ravel()[0] == -2
+        assert enc.reserved.ravel()[0] == 3  # delta = 1 - (-2)
+
+    def test_039_becomes_minus_0375(self):
+        # The paper: with shared_exp_new = -2, -0.39 scales to -1.56 and
+        # maps to -1.5 (so dequantizes to -0.375) whereas MXFP4 zeroed it.
+        q = MXFP4PlusPlus()(FIG4_UPPER_BF16)
+        assert q[5] == pytest.approx(-0.375)
+        q4 = MXFP4()(FIG4_UPPER_BF16)
+        assert q4[5] == 0.0
+
+    def test_099_not_saturated(self):
+        # Without the +1 offset, 0.99 would scale to 7.92 and saturate at
+        # 6.0 (-> 0.75 dequantized). With it, 0.99 -> 3.96 -> 4.0 -> 1.0.
+        q = MXFP4PlusPlus()(FIG4_UPPER_BF16)
+        assert q[2] == pytest.approx(1.0)
+
+    def test_bm_same_as_mxplus(self):
+        qpp = MXFP4PlusPlus()(FIG4_UPPER_BF16)
+        qp = MXFP4Plus()(FIG4_UPPER_BF16)
+        assert qpp[4] == qp[4] == pytest.approx(-10.0)
+
+
+class TestMXPPInvariants:
+    @pytest.mark.parametrize(
+        "factory", [MXFP4PlusPlus, MXFP6PlusPlus, MXFP8PlusPlus], ids=["4", "6", "8"]
+    )
+    def test_delta_fits_reserved_bits(self, factory):
+        rng = np.random.default_rng(0)
+        x = rng.standard_normal((64, 32)) * np.exp(rng.uniform(-6, 6, (64, 1)))
+        x[rng.random((64, 32)) < 0.05] *= 1000  # extreme outliers
+        enc = factory().encode(x)
+        assert np.all(enc.reserved >= 0)
+        assert np.all(enc.reserved <= 7)
+
+    def test_mse_never_worse_than_mxplus(self):
+        rng = np.random.default_rng(1)
+        x = rng.standard_normal((128, 32))
+        x[rng.random((128, 32)) < 0.03] *= 50
+        epp = np.mean((x - MXFP4PlusPlus()(x)) ** 2)
+        ep = np.mean((x - MXFP4Plus()(x)) ** 2)
+        assert epp <= ep + 1e-15
+
+    def test_identical_exponents_keep_delta_zero(self):
+        # BM and largest NBM in the same binade: the CLIP upper bound
+        # forces shared_exp_new == shared_exp (delta 0).
+        x = np.zeros(32)
+        x[0] = 5.0
+        x[1] = 4.2
+        enc = MXFP4PlusPlus().encode(x)
+        assert enc.reserved.ravel()[0] == 0
+
+    def test_delta_capped_at_7(self):
+        # A huge BM with tiny NBMs: delta clips at 7 (3 reserved bits).
+        x = np.full(32, 2.0**-20)
+        x[0] = 1024.0
+        enc = MXFP4PlusPlus().encode(x)
+        assert enc.reserved.ravel()[0] == 7
+
+    def test_largest_nbm_never_saturates_when_rescaled(self):
+        # The +1 offset guarantees the largest NBM stays strictly inside
+        # the representable range after rescaling — for blocks that
+        # actually rescale (delta >= 1). Blocks clipped to delta == 0
+        # behave exactly like MX+ (where a near-BM NBM may saturate to
+        # max_normal, which is correct behaviour).
+        rng = np.random.default_rng(2)
+        fmt = MXFP4PlusPlus()
+        x = rng.standard_normal((256, 32)) * np.exp(rng.uniform(-3, 3, (256, 1)))
+        x[:, 0] *= 50.0  # outlier BM so that delta >= 1 actually occurs
+        enc = fmt.encode(x)
+        k = x.shape[-1]
+        is_bm = np.arange(k) == enc.bm_index[..., None]
+        scaled = np.abs(enc.elem_values)
+        nbm_max = np.max(np.where(is_bm, 0.0, scaled), axis=-1)
+        rescaled = enc.reserved >= 1
+        assert np.any(rescaled)  # the scenario actually occurs
+        assert np.all(nbm_max[rescaled] < fmt.elem.max_normal)
+
+    def test_all_zero_nbms(self):
+        x = np.zeros(32)
+        x[3] = 2.5
+        fmt = MXFP4PlusPlus()
+        enc = fmt.encode(x)
+        assert enc.reserved.ravel()[0] == 0
+        q = fmt(x)
+        assert q[3] == pytest.approx(2.5)
+        assert np.all(np.delete(q, 3) == 0)
+
+    def test_flush_block(self):
+        x = np.full((1, 32), 2.0**-130)
+        fmt = MXFP4PlusPlus()
+        enc = fmt.encode(x)
+        assert enc.shared_exp.ravel()[0] == ZERO_BLOCK_SENTINEL
+        np.testing.assert_array_equal(fmt(x), 0.0)
+
+    def test_same_storage_as_mxplus(self):
+        # MX++ reuses the reserved bits: no extra storage over MX+.
+        assert MXFP4PlusPlus().bits_per_element() == MXFP4Plus().bits_per_element()

@@ -1,0 +1,221 @@
+"""Tests for the baseline quantization schemes (repro.quant)."""
+
+import numpy as np
+import pytest
+
+from repro.core.intquant import quantize_int_tensor
+from repro.quant import (
+    ANTContext,
+    AtomContext,
+    AWQContext,
+    LLMFP4Context,
+    OliVeContext,
+    QuaRotContext,
+    SCHEME_MATRIX,
+    SmoothQuantContext,
+    TenderContext,
+    random_hadamard,
+    scheme_context,
+)
+from repro.quant.ant import quantize_adaptive
+from repro.quant.olive import quantize_olive
+from repro.quant.tender import quantize_tender
+
+
+def outlier_pair(seed=0, dim=128):
+    rng = np.random.default_rng(seed)
+    x = rng.standard_normal((64, dim))
+    x[:, 7] *= 40
+    w = rng.standard_normal((dim, 32)) / np.sqrt(dim)
+    return x, w
+
+
+def err(x, q):
+    return float(np.mean((x - q) ** 2))
+
+
+class TestSmoothQuant:
+    def test_migration_reduces_matmul_error(self):
+        # The pair is returned in migrated coordinates, so compare matmul
+        # outputs: migration beats naive per-tensor INT4 on both operands.
+        x, w = outlier_pair()
+        ref = x @ w
+        smq = SmoothQuantContext(bf16_base=False)
+        xq, wq = smq.quantize_matmul_pair(x, w)
+        naive = quantize_int_tensor(x, 4) @ quantize_int_tensor(w, 4)
+        assert np.mean((xq @ wq - ref) ** 2) < np.mean((naive - ref) ** 2)
+
+    def test_matmul_error_bounded(self):
+        x, w = outlier_pair()
+        smq = SmoothQuantContext(bf16_base=False)
+        xq, wq = smq.quantize_matmul_pair(x, w)
+        ref = x @ w
+        assert np.mean((xq @ wq - ref) ** 2) < np.mean(ref**2)
+
+    def test_mx_variant(self):
+        x, w = outlier_pair()
+        from repro.core import get_format
+
+        smq = SmoothQuantContext(mx_format=get_format("mxfp4"), bf16_base=False)
+        xq, wq = smq.quantize_matmul_pair(x, w)
+        assert xq.shape == x.shape and wq.shape == w.shape
+
+
+class TestQuaRot:
+    def test_hadamard_orthogonal(self):
+        q = random_hadamard(128, seed=1)
+        np.testing.assert_allclose(q @ q.T, np.eye(128), atol=1e-10)
+
+    def test_non_pow2_fallback_orthogonal(self):
+        q = random_hadamard(96, seed=2)
+        np.testing.assert_allclose(q @ q.T, np.eye(96), atol=1e-10)
+
+    def test_rotation_spreads_outliers(self):
+        x, _ = outlier_pair()
+        q = random_hadamard(x.shape[1], seed=0)
+        assert np.max(np.abs(x @ q)) < np.max(np.abs(x)) * 0.6
+
+    def test_exact_without_quantization(self):
+        # rotation alone preserves the matmul
+        x, w = outlier_pair()
+        q = random_hadamard(x.shape[1], seed=0)
+        np.testing.assert_allclose((x @ q) @ (q.T @ w), x @ w, atol=1e-9)
+
+    def test_beats_naive_int4(self):
+        x, w = outlier_pair()
+        ctx = QuaRotContext(bf16_base=False)
+        xq, wq = ctx.quantize_matmul_pair(x, w)
+        ref = x @ w
+        naive = quantize_int_tensor(x, 4) @ quantize_int_tensor(w, 4)
+        assert np.mean((xq @ wq - ref) ** 2) < np.mean((naive - ref) ** 2)
+
+
+class TestAtom:
+    def test_outlier_channels_in_int8(self):
+        x, w = outlier_pair()
+        ctx = AtomContext(bf16_base=False, n_outlier=8)
+        xq, wq = ctx.quantize_matmul_pair(x, w)
+        # outlier channel error small relative to its magnitude (INT8)
+        rel = np.abs(x[:, 7] - xq[:, 7]) / np.abs(x[:, 7])
+        assert np.median(rel) < 0.02
+
+    def test_shapes_restored(self):
+        x, w = outlier_pair()
+        ctx = AtomContext(bf16_base=False)
+        xq, wq = ctx.quantize_matmul_pair(x, w)
+        assert xq.shape == x.shape and wq.shape == w.shape
+
+
+class TestAWQ:
+    def test_weight_only(self):
+        x, w = outlier_pair()
+        ctx = AWQContext(bf16_base=False)
+        xq, wq = ctx.quantize_matmul_pair(x, w)
+        # activations only rescaled, not quantized to a coarse grid
+        np.testing.assert_allclose(sorted(np.unique(np.round(xq[:, 0], 6))).__len__() > 16, True)
+
+    def test_matmul_preserved_better_than_plain_int4(self):
+        x, w = outlier_pair()
+        ref = x @ w
+        ctx = AWQContext(bf16_base=False)
+        xq, wq = ctx.quantize_matmul_pair(x, w)
+        from repro.core.intquant import quantize_int_groupwise
+
+        plain = x @ quantize_int_groupwise(w, 4, group=32, axis=0)
+        assert np.mean((xq @ wq - ref) ** 2) <= np.mean((plain - ref) ** 2) * 1.2
+
+
+class TestANT:
+    def test_adaptive_beats_single_grid(self):
+        rng = np.random.default_rng(3)
+        # mixture: some groups gaussian (int-friendly), some spiky (float)
+        x = np.concatenate(
+            [rng.standard_normal((32, 64)), rng.standard_normal((32, 64)) ** 3], axis=0
+        )
+        adaptive = quantize_adaptive(x, group=32)
+        from repro.quant.ant import CANDIDATE_GRIDS, _snap
+        from repro.core.blocks import from_blocks, to_blocks
+
+        blocked = to_blocks(x, 32)
+        amax = np.max(np.abs(blocked.data), axis=-1, keepdims=True)
+        safe = np.where(amax == 0, 1, amax)
+        int_only = from_blocks(blocked, _snap(blocked.data / safe, CANDIDATE_GRIDS["int4"]) * safe)
+        assert err(x, adaptive) <= err(x, int_only)
+
+    def test_group32_beats_per_tensor(self):
+        x, w = outlier_pair()
+        per_tensor = ANTContext(bf16_base=False)
+        grouped = ANTContext(group=32, bf16_base=False)
+        xq_t, _ = per_tensor.quantize_matmul_pair(x, w)
+        xq_g, _ = grouped.quantize_matmul_pair(x, w)
+        assert err(x, xq_g) <= err(x, xq_t)
+
+
+class TestOliVe:
+    def test_outliers_kept_victims_zeroed(self):
+        x = np.zeros((1, 32))
+        x[0, 10] = 100.0  # outlier
+        x[0, 11] = 0.5  # its victim
+        x[0, :8] = 0.3
+        q = quantize_olive(x, group=32)
+        assert abs(q[0, 10] - 100.0) < 10.0  # outlier represented
+        assert q[0, 11] == 0.0  # victim pruned
+
+    def test_group_variant_not_worse(self):
+        x, w = outlier_pair()
+        a = OliVeContext(bf16_base=False)
+        b = OliVeContext(group=32, bf16_base=False)
+        xa, _ = a.quantize_matmul_pair(x, w)
+        xb, _ = b.quantize_matmul_pair(x, w)
+        assert err(x, xb) <= err(x, xa) * 1.5
+
+
+class TestTender:
+    def test_pow2_ladder_scales(self):
+        x, _ = outlier_pair()
+        q = quantize_tender(x, bits=4)
+        assert q.shape == x.shape
+        # The per-channel pow2 ladder keeps far more small-channel values
+        # alive than a single per-tensor INT4 scale would.
+        naive = quantize_int_tensor(x, 4)
+        assert np.count_nonzero(q[:, 8:]) > 3 * np.count_nonzero(naive[:, 8:])
+
+    def test_row_grouping(self):
+        x, _ = outlier_pair()
+        q0 = quantize_tender(x, bits=4, row_group=0)
+        q2 = quantize_tender(x, bits=4, row_group=2)
+        assert err(x, q2) <= err(x, q0) * 1.05
+
+
+class TestLLMFP4:
+    def test_bias_search_not_worse_than_fixed(self):
+        x, w = outlier_pair()
+        from repro.quant.llmfp4 import quantize_fp4_bias_search
+
+        searched = quantize_fp4_bias_search(x, axis=-1, n_bias=4)
+        fixed = quantize_fp4_bias_search(x, axis=-1, n_bias=1)
+        assert err(x, searched) <= err(x, fixed)
+
+
+class TestRegistryAndMatrix:
+    @pytest.mark.parametrize(
+        "name",
+        ["smq-int4", "smq-mxfp4", "quarot-int4", "atom", "ant", "mx-ant",
+         "olive", "mx-olive", "tender", "mx-tender", "llm-fp4",
+         "awq-int4", "awq-mxfp4+", "mxfp4+"],
+    )
+    def test_scheme_context_builds(self, name):
+        ctx = scheme_context(name)
+        x, w = outlier_pair(dim=64)
+        xq, wq = ctx.quantize_matmul_pair(x, w)
+        assert xq.shape == x.shape and wq.shape == w.shape
+        assert np.all(np.isfinite(xq)) and np.all(np.isfinite(wq))
+
+    def test_table13_only_mxplus_has_all(self):
+        full = [c.name for c in SCHEME_MATRIX if c.compute_efficiency and c.standard_general and c.high_accuracy]
+        assert full == ["MX+"]
+
+    def test_schemes_skip_lm_head_and_attention(self):
+        ctx = scheme_context("atom")
+        assert ctx.quantize_lm_head is False
+        assert ctx.quantize_attention is False

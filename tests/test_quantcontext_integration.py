@@ -1,0 +1,101 @@
+"""Integration tests: the full quantized-inference flow across modules
+(formats -> QuantContext -> transformer -> eval), mirroring the paper's
+computation flow on the trained test model."""
+
+import numpy as np
+import pytest
+
+from repro.eval import perplexity
+from repro.models.zoo import get_corpus, load_model
+from repro.nn.quantize import QuantContext
+from repro.nn.tensor import no_grad
+
+
+@pytest.fixture(scope="module")
+def tiny():
+    return load_model("test-tiny")
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return get_corpus("wiki2-sim", 60_000)
+
+
+class TestFormatLadder:
+    """The paper's central orderings, end-to-end on a trained model."""
+
+    @pytest.fixture(scope="class")
+    def ppl(self, tiny, corpus):
+        names = [
+            "baseline", "mxfp8", "mxfp8+", "mxfp6", "mxfp6+",
+            "mxfp4", "mxfp4+", "mxfp4++", "a-mxfp4+",
+            "a:bf16,w:mxfp4", "a:mxfp4,w:bf16",
+        ]
+        return {
+            n: perplexity(tiny, corpus, QuantContext.named(n), batch=8, seq_len=64)
+            for n in names
+        }
+
+    def test_high_bit_tracks_baseline(self, ppl):
+        assert ppl["mxfp8"] < ppl["baseline"] * 1.15
+        assert ppl["mxfp6"] < ppl["baseline"] * 1.25
+
+    def test_mxfp4_collapses(self, ppl):
+        assert ppl["mxfp4"] > ppl["baseline"] * 1.5
+
+    def test_mx_plus_never_worse(self, ppl):
+        assert ppl["mxfp8+"] <= ppl["mxfp8"] * 1.02
+        assert ppl["mxfp6+"] <= ppl["mxfp6"] * 1.02
+        assert ppl["mxfp4+"] <= ppl["mxfp4"] * 1.02
+
+    def test_mxpp_best_of_the_4bit_family(self, ppl):
+        assert ppl["mxfp4++"] <= ppl["mxfp4+"] * 1.02
+
+    def test_weight_only_nearly_free(self, ppl):
+        assert ppl["a:bf16,w:mxfp4"] < ppl["baseline"] * 1.25
+
+    def test_activations_carry_the_damage(self, ppl):
+        assert ppl["a:mxfp4,w:bf16"] > ppl["a:bf16,w:mxfp4"]
+
+    def test_a_mxfp4_plus_between(self, ppl):
+        assert ppl["a-mxfp4+"] <= ppl["mxfp4"] * 1.05
+        assert ppl["a-mxfp4+"] >= ppl["mxfp4++"] * 0.95
+
+
+class TestFlowDetails:
+    def test_attention_quantization_matters(self, tiny, corpus):
+        batch = corpus.val_batch(8, 64)
+        qc_full = QuantContext.named("mxfp4")
+        qc_noattn = qc_full.with_(quantize_attention=False)
+        a = tiny.perplexity(batch, qc_full)
+        b = tiny.perplexity(batch, qc_noattn)
+        assert a != b
+
+    def test_kv_format_override(self, tiny, corpus):
+        from repro.core import get_format
+
+        batch = corpus.val_batch(8, 64)
+        qc = QuantContext.named("mxfp4").with_(kv=get_format("mxfp8"))
+        a = tiny.perplexity(batch, qc)
+        b = tiny.perplexity(batch, QuantContext.named("mxfp4"))
+        assert a <= b * 1.02  # higher-precision KV never hurts much
+
+    def test_bf16_base_toggle(self, tiny, corpus):
+        batch = corpus.val_batch(4, 64)
+        exact = tiny.perplexity(batch, QuantContext(bf16_base=False))
+        bf16 = tiny.perplexity(batch, QuantContext(bf16_base=True))
+        assert bf16 == pytest.approx(exact, rel=5e-3)
+
+    def test_quantization_deterministic(self, tiny, corpus):
+        batch = corpus.val_batch(4, 64)
+        qc = QuantContext.named("mxfp4+")
+        assert tiny.perplexity(batch, qc) == tiny.perplexity(batch, qc)
+
+    def test_logits_differ_under_quantization(self, tiny, corpus):
+        tokens = corpus.val[:33][None, :]
+        with no_grad():
+            base = tiny(tokens, QuantContext()).data
+            q = tiny(tokens, QuantContext.named("mxfp4")).data
+        assert not np.allclose(base, q)
+        # but remain finite and ordered enough to decode
+        assert np.all(np.isfinite(q))

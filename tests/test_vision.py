@@ -1,0 +1,101 @@
+"""Tests for the vision substrate (repro.nn.vision): conv-as-im2col,
+classifier training, quantized inference, and QA fine-tuning."""
+
+import numpy as np
+import pytest
+
+from repro.data.images import IMAGE_SIZE, make_images
+from repro.nn.quantize import QuantContext
+from repro.nn.tensor import Tensor
+from repro.nn.vision import (
+    Conv2d,
+    TinyCNN,
+    TinyViT,
+    _im2col_indices,
+    classifier_accuracy,
+    qa_finetune,
+    train_classifier,
+)
+
+
+@pytest.fixture(scope="module")
+def data():
+    return make_images(256, 96, noise=0.6)
+
+
+class TestIm2Col:
+    def test_output_size(self):
+        idx, out = _im2col_indices(12, 3, 1)
+        assert out == 10
+        assert idx.shape == (100, 9)
+
+    def test_indices_cover_kernel_window(self):
+        idx, _ = _im2col_indices(5, 3, 1)
+        # first patch: rows 0-2 x cols 0-2 of a 5-wide image
+        assert idx[0].tolist() == [0, 1, 2, 5, 6, 7, 10, 11, 12]
+
+    def test_conv_matches_manual(self):
+        rng = np.random.default_rng(0)
+        conv = Conv2d(rng, in_ch=1, out_ch=2, kernel=3, size=6)
+        x = rng.standard_normal((1, 1, 36))
+        out = conv(Tensor(x)).data
+        # manual correlation for output position (0, 0), channel 0
+        img = x[0, 0].reshape(6, 6)
+        w = conv.proj.weight.data[:, 0].reshape(3, 3)
+        expect = float(np.sum(img[:3, :3] * w))
+        assert out[0, 0, 0] == pytest.approx(expect)
+
+    def test_conv_gradients_flow(self):
+        rng = np.random.default_rng(1)
+        conv = Conv2d(rng, 1, 2, kernel=3, size=6)
+        x = Tensor(rng.standard_normal((2, 1, 36)), requires_grad=True)
+        conv(x).sum().backward()
+        assert x.grad is not None
+        assert conv.proj.weight.grad is not None
+
+
+class TestModels:
+    def test_cnn_forward_shape(self, data):
+        model = TinyCNN(seed=0)
+        logits = model(data.test_x[:4])
+        assert logits.shape == (4, 8)
+
+    def test_vit_forward_shape(self, data):
+        model = TinyViT(seed=0)
+        logits = model(data.test_x[:4])
+        assert logits.shape == (4, 8)
+
+    def test_vit_has_outlier_channels(self, data):
+        model = TinyViT(seed=0)
+        fs = model.norm1.fixed_scale.data
+        assert fs.max() > 4 * np.median(fs)
+
+    def test_untrained_near_chance(self, data):
+        model = TinyCNN(seed=0)
+        acc = classifier_accuracy(model, data)
+        assert acc < 40.0  # 8 classes -> chance 12.5%
+
+    @pytest.mark.parametrize("factory", [TinyCNN, TinyViT], ids=["cnn", "vit"])
+    def test_training_beats_chance(self, factory, data):
+        model = train_classifier(factory(seed=0), data, steps=40)
+        acc = classifier_accuracy(model, data)
+        assert acc > 40.0
+
+    def test_quantized_accuracy_defined(self, data):
+        model = train_classifier(TinyCNN(seed=1), data, steps=30)
+        acc = classifier_accuracy(model, data, QuantContext.named("mxfp4"))
+        assert 0.0 <= acc <= 100.0
+
+    def test_qa_finetune_improves_quantized(self, data):
+        model = train_classifier(TinyCNN(seed=2), data, steps=60)
+        qc = QuantContext.named("mxfp4")
+        before = classifier_accuracy(model, data, qc)
+        qa_finetune(model, data, qc, steps=40)
+        after = classifier_accuracy(model, data, qc)
+        assert after >= before - 2.0  # never materially worse
+
+    def test_mxfp8_close_to_fp(self, data):
+        model = train_classifier(TinyCNN(seed=3), data, steps=50)
+        fp = classifier_accuracy(model, data)
+        q8 = classifier_accuracy(model, data, QuantContext.named("mxfp8"))
+        assert abs(fp - q8) < 5.0
