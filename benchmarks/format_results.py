@@ -1,0 +1,140 @@
+"""Render ``benchmarks/results/*.json`` into a markdown summary.
+
+Intended for PR comments / CI job summaries::
+
+    python benchmarks/format_results.py            # markdown to stdout
+    python benchmarks/format_results.py --out results.md
+    python benchmarks/format_results.py serving_engine fig13_speedup_accuracy
+
+A serving headline table (throughput, TTFT/TPOT, speedup) is emitted
+first when the corresponding artifacts exist; every other artifact is
+rendered generically, one section per JSON file.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: artifacts surfaced in the headline serving summary, with the columns
+#: (json key -> table header) each contributes.
+SERVING_ARTIFACTS = {
+    "serving_engine": {
+        "throughput_tok_s": "throughput (tok/s)",
+        "mean_ttft_ms": "TTFT (ms)",
+        "mean_tpot_ms": "TPOT (ms)",
+        "speedup_vs_bf16": "serving speedup",
+    },
+    "fig13_speedup_accuracy": {
+        "speedup_out64": "speedup (64 out)",
+        "avg_accuracy": "avg accuracy (%)",
+    },
+}
+
+
+def _fmt(value) -> str:
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)
+
+
+def _table(headers: list[str], rows: list[list[str]]) -> str:
+    lines = [
+        "| " + " | ".join(headers) + " |",
+        "| " + " | ".join("---" for _ in headers) + " |",
+    ]
+    lines += ["| " + " | ".join(row) + " |" for row in rows]
+    return "\n".join(lines)
+
+
+def _load(name: str) -> dict | None:
+    path = RESULTS_DIR / f"{name}.json"
+    if not path.exists():
+        return None
+    with open(path) as f:
+        return json.load(f)
+
+
+def render_generic(name: str, payload) -> str:
+    """One markdown section for an arbitrary results payload."""
+    title = f"### `{name}`"
+    if not isinstance(payload, dict) or not payload:
+        return f"{title}\n\n```\n{json.dumps(payload, indent=2)}\n```"
+    if all(isinstance(v, dict) for v in payload.values()):
+        columns: list[str] = []
+        for row in payload.values():
+            columns += [c for c in row if c not in columns]
+        rows = [
+            [str(key)] + [_fmt(row.get(c, "")) for c in columns]
+            for key, row in payload.items()
+        ]
+        return f"{title}\n\n" + _table(["config"] + columns, rows)
+    rows = [[str(k), _fmt(v)] for k, v in payload.items()]
+    return f"{title}\n\n" + _table(["key", "value"], rows)
+
+
+def render_serving_summary() -> str | None:
+    """Headline table joining the serving artifacts per recipe name."""
+    merged: dict[str, dict[str, str]] = {}
+    columns: list[str] = []
+    for artifact, wanted in SERVING_ARTIFACTS.items():
+        payload = _load(artifact)
+        if not isinstance(payload, dict):
+            continue
+        for key, header in wanted.items():
+            if header not in columns:
+                columns.append(header)
+        for config, row in payload.items():
+            if not isinstance(row, dict):
+                continue
+            cells = merged.setdefault(str(config), {})
+            for key, header in wanted.items():
+                if key in row:
+                    cells[header] = _fmt(row[key])
+    if not merged:
+        return None
+    rows = [
+        [config] + [cells.get(c, "") for c in columns]
+        for config, cells in merged.items()
+    ]
+    return "## Serving summary\n\n" + _table(["recipe"] + columns, rows)
+
+
+def render(names: list[str] | None = None) -> str:
+    if names:
+        available = [n for n in names if (RESULTS_DIR / f"{n}.json").exists()]
+        missing = sorted(set(names) - set(available))
+        if missing:
+            print(f"warning: no results for {', '.join(missing)}", file=sys.stderr)
+    else:
+        available = sorted(p.stem for p in RESULTS_DIR.glob("*.json"))
+    sections = ["# Benchmark results"]
+    summary = render_serving_summary()
+    if summary and not names:
+        sections.append(summary)
+    sections += [render_generic(n, _load(n)) for n in available]
+    return "\n\n".join(sections) + "\n"
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("names", nargs="*", help="artifact names (default: all)")
+    parser.add_argument("--out", type=Path, help="write markdown to this file")
+    args = parser.parse_args(argv)
+    markdown = render(args.names or None)
+    if args.out:
+        args.out.write_text(markdown)
+        print(f"wrote {args.out}")
+    else:
+        print(markdown)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -3,8 +3,9 @@ normalized execution time across output lengths (Llama-2-13B serving)."""
 
 from _util import print_table, run_once, save_result
 
-from repro.gpu.inference import CONFIGS, simulate_inference
+from repro.gpu.inference import simulate_inference
 from repro.models.zoo import ARCHS
+from repro.serve import get_recipe
 
 
 def test_fig11a(benchmark):
@@ -13,7 +14,7 @@ def test_fig11a(benchmark):
     def run():
         out = {}
         for name in ["mxfp4", "a-mxfp4+", "mxfp8"]:
-            st = simulate_inference(arch, CONFIGS[name], batch=4, prompt_len=1024, output_len=64)
+            st = simulate_inference(arch, get_recipe(name), batch=4, prompt_len=1024, output_len=64)
             out[name] = {"prefill_ms": st.prefill_s * 1e3, "decode_ms": st.decode_s * 1e3}
         return out
 
@@ -38,9 +39,9 @@ def test_fig11b(benchmark):
     def run():
         out = {}
         for out_len in [32, 64, 128, 256]:
-            t4 = simulate_inference(arch, CONFIGS["mxfp4"], 4, 1024, out_len).total_s
-            tp = simulate_inference(arch, CONFIGS["a-mxfp4+"], 4, 1024, out_len).total_s
-            t8 = simulate_inference(arch, CONFIGS["mxfp8"], 4, 1024, out_len).total_s
+            t4 = simulate_inference(arch, get_recipe("mxfp4"), 4, 1024, out_len).total_s
+            tp = simulate_inference(arch, get_recipe("a-mxfp4+"), 4, 1024, out_len).total_s
+            t8 = simulate_inference(arch, get_recipe("mxfp8"), 4, 1024, out_len).total_s
             out[out_len] = {"a-mxfp4+": tp / t4, "mxfp8": t8 / t4}
         return out
 

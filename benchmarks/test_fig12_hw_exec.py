@@ -3,8 +3,9 @@ time vs MXFP4 (paper: 0.38% average slowdown)."""
 
 from _util import print_table, run_once, save_result
 
-from repro.gpu.inference import CONFIGS, ServingConfig, simulate_inference
+from repro.gpu.inference import simulate_inference
 from repro.models.zoo import ARCHS
+from repro.serve import get_recipe
 
 MODELS = ["llama-2-7b", "llama-2-13b", "llama-3.1-8b"]
 
@@ -12,8 +13,8 @@ MODELS = ["llama-2-7b", "llama-2-13b", "llama-3.1-8b"]
 def test_fig12(benchmark):
     def run():
         out = {}
-        hw = CONFIGS["mxfp4+"]
-        base = CONFIGS["mxfp4"]
+        hw = get_recipe("mxfp4+")
+        base = get_recipe("mxfp4")
         for name in MODELS:
             arch = ARCHS[name]
             t_hw = simulate_inference(arch, hw, batch=1, prompt_len=2048, output_len=0)

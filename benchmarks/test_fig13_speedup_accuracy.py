@@ -5,19 +5,11 @@ scenarios."""
 from _util import print_table, run_once, save_result
 
 from repro.eval import task_accuracy
-from repro.gpu.inference import CONFIGS, end_to_end_speedup
+from repro.gpu.inference import end_to_end_speedup
 from repro.models.zoo import ARCHS
-from repro.nn.quantize import QuantContext
+from repro.serve import get_recipe
 
 SPEED_CONFIGS = ["mxfp4", "a-mxfp4+", "mxfp8", "mxfp4+", "mxfp4++", "a8w4"]
-ACC_SPEC = {
-    "mxfp4": "mxfp4",
-    "a-mxfp4+": "a-mxfp4+",
-    "mxfp8": "mxfp8",
-    "mxfp4+": "mxfp4+",
-    "mxfp4++": "mxfp4++",
-    "a8w4": "a:mxfp8,w:mxfp4",
-}
 
 
 def test_fig13(benchmark, llama2_13b, harness_tasks):
@@ -26,13 +18,15 @@ def test_fig13(benchmark, llama2_13b, harness_tasks):
     def run():
         out = {}
         for name in SPEED_CONFIGS:
-            qc = QuantContext.named(ACC_SPEC[name])
+            # One recipe drives both the accuracy and the timing paths.
+            recipe = get_recipe(name)
+            qc = recipe.to_context()
             acc = sum(
                 task_accuracy(llama2_13b, t, qc) for t in harness_tasks.values()
             ) / len(harness_tasks)
             out[name] = {
-                "speedup_out8": end_to_end_speedup(arch, CONFIGS[name], 4, 1024, 8),
-                "speedup_out64": end_to_end_speedup(arch, CONFIGS[name], 4, 1024, 64),
+                "speedup_out8": end_to_end_speedup(arch, recipe, 4, 1024, 8),
+                "speedup_out64": end_to_end_speedup(arch, recipe, 4, 1024, 64),
                 "avg_accuracy": acc,
             }
         return out

@@ -1,0 +1,61 @@
+"""Request-level serving benchmark: the unified `repro.serve` engine on a
+mixed continuous-batching workload (Llama-2-13B timing model), reporting
+per-recipe throughput and mean TTFT/TPOT, plus the reconciliation check
+against the stage-level simulator."""
+
+from _util import print_table, run_once, save_result
+
+from repro.gpu.inference import simulate_inference
+from repro.models.zoo import ARCHS
+from repro.serve import Request, ServingEngine, get_recipe
+
+RECIPES = ["bf16", "mxfp8", "mxfp4", "a-mxfp4+", "mxfp4+", "mxfp4++"]
+
+
+def _mixed_requests(n: int = 8) -> list[Request]:
+    return [
+        Request(
+            f"req-{i}",
+            prompt_len=256 * (1 + i % 4),
+            max_new_tokens=16 + 8 * (i % 3),
+            arrival_s=0.01 * i,
+        )
+        for i in range(n)
+    ]
+
+
+def test_serving_engine(benchmark):
+    arch = ARCHS["llama-2-13b"]
+
+    def run():
+        out = {}
+        for name in RECIPES:
+            engine = ServingEngine(arch, get_recipe(name), kv_token_budget=16_384)
+            result = engine.run(_mixed_requests())
+            out[name] = {
+                "throughput_tok_s": result.throughput_tok_s,
+                "mean_ttft_ms": result.mean_ttft_s * 1e3,
+                "mean_tpot_ms": result.mean_tpot_s * 1e3,
+                "makespan_ms": result.makespan_s * 1e3,
+            }
+        base = out["bf16"]["makespan_ms"]
+        for name in RECIPES:
+            out[name]["speedup_vs_bf16"] = base / out[name]["makespan_ms"]
+        return out
+
+    table = run_once(benchmark, run)
+    save_result("serving_engine", table)
+    print_table("Serving engine: mixed batch, continuous batching", table)
+
+    # The serving-level ordering mirrors the stage-level Figure 13 story.
+    assert table["mxfp4"]["speedup_vs_bf16"] > table["mxfp8"]["speedup_vs_bf16"] > 1.0
+    assert table["mxfp4+"]["speedup_vs_bf16"] > table["mxfp4"]["speedup_vs_bf16"] * 0.9
+    assert table["a-mxfp4+"]["mean_ttft_ms"] > table["mxfp4"]["mean_ttft_ms"]
+
+    # Uniform batch reconciles exactly with the stage-level simulator.
+    engine = ServingEngine(arch, get_recipe("mxfp4+"))
+    uniform = engine.run(
+        [Request(f"u{i}", prompt_len=1024, max_new_tokens=64) for i in range(8)]
+    )
+    sim = simulate_inference(arch, get_recipe("mxfp4+"), batch=8, prompt_len=1024, output_len=64)
+    assert abs(uniform.makespan_s - sim.total_s) / sim.total_s < 0.01

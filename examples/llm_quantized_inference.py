@@ -2,15 +2,19 @@
 
 Loads (training on first run, ~1 minute) a scaled-down Llama-3.1-8B
 stand-in with realistic activation outliers, then evaluates perplexity and
-task accuracy across the MX / MX+ format ladder.
+task accuracy across the MX / MX+ format ladder — every configuration
+expressed as a :class:`repro.serve.QuantRecipe`, the repo's single config
+surface. The finale serves real prompts through the
+:class:`repro.serve.ServingEngine` numeric mode, so generated tokens and
+TTFT/TPOT latency come from one API call.
 
 Run:  python examples/llm_quantized_inference.py
 """
 
 from repro.data.tasks import TASKS, make_task
 from repro.eval import perplexity_table, task_accuracy
-from repro.models.zoo import get_corpus, load_model
-from repro.nn.quantize import QuantContext
+from repro.models.zoo import ARCHS, get_corpus, load_model
+from repro.serve import QuantRecipe, Request, ServingEngine
 
 model = load_model("llama-3.1-8b-sim", verbose=True)
 corpus = get_corpus("wiki2-sim", 240_000)
@@ -28,11 +32,21 @@ for name, ppl in table.items():
 print("\nTask accuracy (arc_easy-sim):")
 task = make_task(corpus, TASKS["arc_challenge-sim"])
 for name in ["baseline", "mxfp4", "mxfp4+"]:
-    acc = task_accuracy(model, task, QuantContext.named(name))
+    acc = task_accuracy(model, task, QuantRecipe.from_name(name))
     print(f"  {name:>9s}: {acc:5.1f}%")
 
-print("\nGreedy generation under MXFP4+ (quantized decode path):")
-prefix = corpus.val[:16]
-tokens = model.generate(prefix, 12, QuantContext.named("mxfp4+"))
-print("  prompt:", prefix.tolist())
-print("  output:", tokens.tolist())
+print("\nServing real prompts under MXFP4+ (numeric mode: tokens + latency):")
+engine = ServingEngine(
+    ARCHS["llama-3.1-8b"], QuantRecipe.from_name("mxfp4+"), model=model
+)
+requests = [
+    Request(f"req-{i}", prompt_tokens=corpus.val[16 * i : 16 * (i + 1)],
+            max_new_tokens=12)
+    for i in range(3)
+]
+result = engine.run(requests)
+for req, resp in zip(requests, result.responses):
+    print(f"  {resp.request_id}: TTFT {resp.ttft_s * 1e3:6.1f} ms, "
+          f"TPOT {resp.tpot_s * 1e3:5.2f} ms")
+    print(f"    prompt: {req.prompt_tokens.tolist()}")
+    print(f"    output: {resp.tokens.tolist()}")

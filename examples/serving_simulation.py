@@ -1,22 +1,24 @@
-"""GPU serving simulation: prefill/decode costs and end-to-end speedups
-(the Figure 11/13 experiments) on full-size model architectures.
+"""GPU serving simulation through the unified `repro.serve` API: the
+stage-level Figure 11/13 numbers plus a request-level continuous-batching
+run with per-request TTFT/TPOT accounting.
 
 Run:  python examples/serving_simulation.py
 """
 
-from repro.gpu.inference import CONFIGS, end_to_end_speedup, simulate_inference
+from repro.gpu.inference import end_to_end_speedup, simulate_inference
 from repro.models.zoo import ARCHS
+from repro.serve import QuantRecipe, Request, ServingEngine, get_recipe
 
 arch = ARCHS["llama-2-13b"]
 print(f"Serving {arch.name} (dim={arch.dim}, layers={arch.n_layers}) — "
       "4 requests x 1024 prompt tokens, RTX 5090-class GPU\n")
 
-print(f"{'config':>10s} {'prefill ms':>11s} {'decode ms (64 tok)':>19s} "
+print(f"{'recipe':>10s} {'prefill ms':>11s} {'decode ms (64 tok)':>19s} "
       f"{'speedup vs BF16':>16s}")
 for name in ["bf16", "mxfp8", "a8w4", "mxfp4", "a-mxfp4+", "mxfp4+", "mxfp4++"]:
-    cfg = CONFIGS[name]
-    st = simulate_inference(arch, cfg, batch=4, prompt_len=1024, output_len=64)
-    speedup = end_to_end_speedup(arch, cfg, 4, 1024, 64)
+    recipe = get_recipe(name)
+    st = simulate_inference(arch, recipe, batch=4, prompt_len=1024, output_len=64)
+    speedup = end_to_end_speedup(arch, recipe, 4, 1024, 64)
     print(f"{name:>10s} {st.prefill_s * 1e3:11.2f} {st.decode_s * 1e3:19.2f} "
           f"{speedup:16.2f}x")
 
@@ -32,6 +34,32 @@ Reading the table:
 print("Hardware-integration check (Figure 12): prefill-only slowdown")
 for name in ["llama-2-7b", "llama-2-13b", "llama-3.1-8b"]:
     a = ARCHS[name]
-    hw = simulate_inference(a, CONFIGS["mxfp4+"], 1, 2048, 0).prefill_s
-    base = simulate_inference(a, CONFIGS["mxfp4"], 1, 2048, 0).prefill_s
+    hw = simulate_inference(a, "mxfp4+", 1, 2048, 0).prefill_s
+    base = simulate_inference(a, "mxfp4", 1, 2048, 0).prefill_s
     print(f"  {name:>14s}: {hw / base:.4f}x")
+
+# ----------------------------------------------------------------------
+# Request-level serving: a mixed batch under continuous batching.
+# ----------------------------------------------------------------------
+print("\nContinuous batching (MXFP4+ recipe): 8 mixed requests")
+engine = ServingEngine(
+    arch, QuantRecipe.from_name("mxfp4+"), kv_token_budget=16_384
+)
+requests = [
+    Request(f"req-{i}", prompt_len=256 * (1 + i % 4),
+            max_new_tokens=16 + 8 * (i % 3), arrival_s=0.02 * i)
+    for i in range(8)
+]
+result = engine.run(requests)
+print(f"{'request':>8s} {'prompt':>7s} {'out':>4s} {'TTFT ms':>8s} "
+      f"{'TPOT ms':>8s} {'e2e ms':>8s}")
+for resp in result.responses:
+    print(f"{resp.request_id:>8s} {resp.prompt_len:7d} {resp.output_len:4d} "
+          f"{resp.ttft_s * 1e3:8.1f} {resp.tpot_s * 1e3:8.2f} "
+          f"{resp.e2e_latency_s * 1e3:8.1f}")
+summary = result.summary()
+print(f"\n  throughput: {summary['throughput_tok_s']:.0f} tok/s, "
+      f"mean TTFT {summary['mean_ttft_s'] * 1e3:.1f} ms, "
+      f"mean TPOT {summary['mean_tpot_s'] * 1e3:.2f} ms "
+      f"({result.n_prefill_steps} prefill / {result.n_decode_steps} decode steps, "
+      f"{summary['preemptions']} preemptions)")

@@ -24,9 +24,29 @@ Subpackages
 ``repro.gpu``
     GPU performance substrate: Tensor-Core timing, serving simulator,
     hardware-integration model, area/power.
+``repro.serve``
+    Unified serving API: :class:`~repro.serve.QuantRecipe` (the one
+    configuration surface) and :class:`~repro.serve.ServingEngine`
+    (request-level continuous batching with TTFT/TPOT accounting).
 """
 
 from .core import available_formats, get_format
 
-__version__ = "1.0.0"
-__all__ = ["get_format", "available_formats", "__version__"]
+__version__ = "1.1.0"
+__all__ = [
+    "get_format",
+    "available_formats",
+    "QuantRecipe",
+    "ServingEngine",
+    "__version__",
+]
+
+
+def __getattr__(name):
+    # Lazy: repro.serve pulls in the nn/gpu substrates, which top-level
+    # ``import repro`` should not pay for.
+    if name in ("QuantRecipe", "ServingEngine"):
+        from . import serve
+
+        return getattr(serve, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -6,6 +6,7 @@ harness, examples, and benchmarks. Names are case-insensitive.
 
 from __future__ import annotations
 
+import difflib
 from typing import Callable
 
 from .blocks import BlockFormat
@@ -19,7 +20,13 @@ from .nvfp4 import NVFP4, NVFP4Plus
 from .smx import SMX4, SMX6, SMX9
 from .topk import TopKPromoteFormat
 
-__all__ = ["get_format", "available_formats", "register_format"]
+__all__ = ["get_format", "available_formats", "register_format", "suggest_near_misses"]
+
+
+def suggest_near_misses(name: str, candidates: list[str]) -> str:
+    """``" — did you mean ...?"`` hint for error messages (or ``""``)."""
+    near = difflib.get_close_matches(name.lower(), candidates, n=3, cutoff=0.4)
+    return f" — did you mean {', '.join(near)}?" if near else ""
 
 _REGISTRY: dict[str, Callable[[], BlockFormat]] = {
     # OCP MX (Table 1)
@@ -61,12 +68,24 @@ _REGISTRY: dict[str, Callable[[], BlockFormat]] = {
 }
 
 
-def register_format(name: str, factory: Callable[[], BlockFormat]) -> None:
-    """Register a custom format under ``name`` (overwrites existing)."""
-    _REGISTRY[name.lower()] = factory
+def register_format(
+    name: str, factory: Callable[[], BlockFormat], overwrite: bool = False
+) -> None:
+    """Register a custom format under ``name``.
+
+    Raises ``ValueError`` on a duplicate name unless ``overwrite=True``.
+    """
+    key = name.lower()
+    if key in _REGISTRY and not overwrite:
+        raise ValueError(
+            f"format {name!r} is already registered; "
+            "pass overwrite=True to replace it"
+        )
+    _REGISTRY[key] = factory
 
 
 def available_formats() -> list[str]:
+    """Sorted names of all registered formats."""
     return sorted(_REGISTRY)
 
 
@@ -74,7 +93,9 @@ def get_format(name: str) -> BlockFormat:
     """Instantiate a format by name; raises ``KeyError`` with suggestions."""
     key = name.lower()
     if key not in _REGISTRY:
+        hint = suggest_near_misses(key, available_formats())
         raise KeyError(
-            f"unknown format {name!r}; available: {', '.join(available_formats())}"
+            f"unknown format {name!r}{hint}; "
+            f"available: {', '.join(available_formats())}"
         )
     return _REGISTRY[key]()

@@ -12,7 +12,7 @@ import numpy as np
 
 from ..data.tasks import MCQTask
 from ..nn.functional import log_softmax
-from ..nn.quantize import QuantContext
+from ..nn.quantize import QuantContext, as_context
 from ..nn.tensor import no_grad
 from ..nn.transformer import TransformerLM
 
@@ -29,7 +29,10 @@ def score_continuations(
     """Total log-prob of each continuation given its prompt.
 
     ``prompts``: (N, Lp); ``continuations``: (N, Lc). Returns (N,).
+    ``qc`` accepts a :class:`QuantContext`, a
+    :class:`repro.serve.QuantRecipe`, or a recipe name.
     """
+    qc = as_context(qc)
     prompts = np.asarray(prompts)
     continuations = np.asarray(continuations)
     n, lp = prompts.shape
@@ -53,7 +56,9 @@ def score_continuations(
 def task_accuracy(
     model: TransformerLM, task: MCQTask, qc: QuantContext | None = None
 ) -> float:
-    """Accuracy (%) on a multiple-choice task under config ``qc``."""
+    """Accuracy (%) on a multiple-choice task under config ``qc``
+    (a context, :class:`repro.serve.QuantRecipe`, or recipe name)."""
+    qc = as_context(qc)
     n, n_choices, lc = task.choices.shape
     prompts = np.repeat(task.prompts, n_choices, axis=0)
     conts = task.choices.reshape(n * n_choices, lc)
@@ -63,11 +68,16 @@ def task_accuracy(
 
 
 def accuracy_table(
-    model: TransformerLM, tasks: dict[str, MCQTask], format_names: list[str]
+    model: TransformerLM, tasks: dict[str, MCQTask], recipes: list
 ) -> dict[str, dict[str, float]]:
-    """Accuracy per (format, task): the Table 2 grid for one model."""
+    """Accuracy per (recipe, task): the Table 2 grid for one model.
+
+    ``recipes`` entries may be recipe/format names or
+    :class:`repro.serve.QuantRecipe` objects.
+    """
     out: dict[str, dict[str, float]] = {}
-    for fmt in format_names:
-        qc = QuantContext.named(fmt)
-        out[fmt] = {tname: task_accuracy(model, task, qc) for tname, task in tasks.items()}
+    for entry in recipes:
+        qc = as_context(entry)
+        key = entry if isinstance(entry, str) else qc.name
+        out[key] = {tname: task_accuracy(model, task, qc) for tname, task in tasks.items()}
     return out

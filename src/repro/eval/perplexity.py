@@ -5,7 +5,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..data.corpus import Corpus
-from ..nn.quantize import QuantContext
+from ..nn.quantize import QuantContext, as_context
 from ..nn.transformer import TransformerLM
 
 __all__ = ["perplexity", "perplexity_table"]
@@ -18,20 +18,23 @@ def perplexity(
     batch: int = 16,
     seq_len: int = 128,
 ) -> float:
-    """Held-out perplexity of ``model`` on ``corpus`` under config ``qc``."""
+    """Held-out perplexity of ``model`` on ``corpus`` under config ``qc``
+    (a context, :class:`repro.serve.QuantRecipe`, or recipe name)."""
     tokens = corpus.val_batch(batch, seq_len)
-    return model.perplexity(tokens, qc)
+    return model.perplexity(tokens, as_context(qc))
 
 
 def perplexity_table(
     model: TransformerLM,
     corpus: Corpus,
-    format_names: list[str],
+    recipes: list,
     batch: int = 16,
     seq_len: int = 128,
 ) -> dict[str, float]:
-    """Perplexity per named format config (see QuantContext.named)."""
-    return {
-        name: perplexity(model, corpus, QuantContext.named(name), batch, seq_len)
-        for name in format_names
-    }
+    """Perplexity per recipe (names or :class:`repro.serve.QuantRecipe`)."""
+    out: dict[str, float] = {}
+    for entry in recipes:
+        qc = as_context(entry)
+        key = entry if isinstance(entry, str) else qc.name
+        out[key] = perplexity(model, corpus, qc, batch, seq_len)
+    return out

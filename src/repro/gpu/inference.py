@@ -10,22 +10,49 @@ Prefill processes ``batch * prompt_len`` rows at once (compute-bound);
 decode processes ``batch`` rows per generated token while the KV cache
 grows (memory-bound). The MX+ software path inflates compute only, so it
 costs ~1.5x in prefill but vanishes in decode — reproducing Figure 11.
+
+Configuration
+-------------
+The canonical configuration object is :class:`repro.serve.QuantRecipe` —
+``simulate_inference``/``end_to_end_speedup``/``step_time`` accept a
+recipe, a recipe name, or a legacy :class:`ServingConfig`.
+``ServingConfig`` and the module-level ``CONFIGS`` dict are retained as
+thin deprecated shims: ``CONFIGS`` is now a view over the recipe registry
+(``repro.serve.get_recipe(name).to_serving_config()``), and new code
+should use recipes directly. The request-level front-end (continuous
+batching, TTFT/TPOT) lives in :class:`repro.serve.ServingEngine`, which is
+backed by :func:`step_time`.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from collections.abc import Mapping
+from dataclasses import dataclass
+from typing import Iterable, Sequence
 
 from ..models.zoo import ArchSpec
 from .kernels import GemmShape, gemm_time
 from .spec import FORMAT_BITS, GPUSpec, RTX5090
 
-__all__ = ["ServingConfig", "StageTimes", "simulate_inference", "end_to_end_speedup"]
+__all__ = [
+    "ServingConfig",
+    "CONFIGS",
+    "StageTimes",
+    "as_serving_config",
+    "step_time",
+    "simulate_inference",
+    "end_to_end_speedup",
+]
 
 
 @dataclass(frozen=True)
 class ServingConfig:
-    """One paper configuration, e.g. A-MXFP4+ under software integration."""
+    """Low-level timing knobs for one configuration (deprecated surface).
+
+    Prefer :class:`repro.serve.QuantRecipe`; this object is what
+    ``QuantRecipe.to_serving_config()`` produces and what the timing
+    functions consume internally.
+    """
 
     name: str
     act_fmt: str = "bf16"
@@ -35,20 +62,64 @@ class ServingConfig:
     min_tile_m: int = 1  # kernel tile granularity on M (A8W4: 128)
 
 
-#: The serving configurations evaluated in Figures 11 and 13.
-CONFIGS: dict[str, ServingConfig] = {
-    "bf16": ServingConfig("bf16"),
-    "mxfp4": ServingConfig("mxfp4", "mxfp4", "mxfp4"),
-    "a-mxfp4+": ServingConfig(
-        "a-mxfp4+", "mxfp4+", "mxfp4", mxplus_software=True
-    ),
-    "mxfp8": ServingConfig("mxfp8", "mxfp8", "mxfp8"),
-    "mxfp4+": ServingConfig("mxfp4+", "mxfp4+", "mxfp4+", mxplus_hardware=True),
-    "mxfp4++": ServingConfig("mxfp4++", "mxfp4++", "mxfp4++", mxplus_hardware=True),
-    # CUTLASS ships a single M=128 tile shape for A8W4 (Section 7.4), so
-    # decode (M = batch) pays heavy tile padding.
-    "a8w4": ServingConfig("a8w4", "mxfp8", "mxfp4", min_tile_m=128),
-}
+#: The Figure 11/13 configuration names kept for the legacy ``CONFIGS`` view.
+_LEGACY_CONFIG_NAMES = (
+    "bf16",
+    "mxfp4",
+    "a-mxfp4+",
+    "mxfp8",
+    "mxfp4+",
+    "mxfp4++",
+    "a8w4",
+)
+
+
+class _ConfigsView(Mapping):
+    """Deprecated ``CONFIGS`` shim: a *live* view over the recipe registry.
+
+    Lookups resolve through ``repro.serve.get_recipe`` on every access
+    (so ``register_recipe(..., overwrite=True)`` is reflected here);
+    iteration stays pinned to the original Figure 11/13 names. New code
+    should use :func:`repro.serve.get_recipe` directly.
+    """
+
+    def __getitem__(self, name: str) -> ServingConfig:
+        if name not in _LEGACY_CONFIG_NAMES:
+            raise KeyError(
+                f"{name!r} is not a legacy CONFIGS entry; use "
+                "repro.serve.get_recipe for the full recipe registry"
+            )
+        from ..serve.recipe import get_recipe  # lazy: avoid import cycle
+
+        return get_recipe(name).to_serving_config()
+
+    def __iter__(self):
+        return iter(_LEGACY_CONFIG_NAMES)
+
+    def __len__(self) -> int:
+        return len(_LEGACY_CONFIG_NAMES)
+
+    def __repr__(self) -> str:
+        return f"_ConfigsView({dict(self)!r})"
+
+
+CONFIGS = _ConfigsView()
+
+
+def as_serving_config(cfg) -> ServingConfig:
+    """Normalize a ``QuantRecipe`` / recipe name / ``ServingConfig``."""
+    if isinstance(cfg, ServingConfig):
+        return cfg
+    if isinstance(cfg, str):
+        from ..serve.recipe import QuantRecipe
+
+        return QuantRecipe.from_name(cfg).to_serving_config()
+    to_serving = getattr(cfg, "to_serving_config", None)
+    if callable(to_serving):
+        return to_serving()
+    raise TypeError(
+        f"expected QuantRecipe, recipe name, or ServingConfig, got {cfg!r}"
+    )
 
 
 @dataclass
@@ -61,82 +132,101 @@ class StageTimes:
         return self.prefill_s + self.decode_s
 
 
-def _layer_gemms(arch: ArchSpec, m: int, ctx: int) -> list[tuple[GemmShape, str]]:
-    """(shape, kind) for one transformer layer at batch-rows ``m``.
-
-    kind is "linear" (weight operand) or "attention" (both operands are
-    activations / KV cache).
-    """
-    kv_dim = arch.n_kv_heads * arch.head_dim
-    shapes = [
-        (GemmShape(m, arch.dim, arch.dim), "linear"),  # Q proj
-        (GemmShape(m, kv_dim, arch.dim), "linear"),  # K proj
-        (GemmShape(m, kv_dim, arch.dim), "linear"),  # V proj
-        (GemmShape(m, arch.dim, arch.dim), "linear"),  # O proj
-        (GemmShape(m, arch.hidden, arch.dim), "linear"),  # gate
-        (GemmShape(m, arch.hidden, arch.dim), "linear"),  # up
-        (GemmShape(m, arch.dim, arch.hidden), "linear"),  # down
-        # attention: scores (M x ctx x head_dim) and values, per token rows
-        (GemmShape(m, ctx, arch.dim), "attention"),
-        (GemmShape(m, arch.dim, ctx), "attention"),
-    ]
-    return shapes
+def _merge_groups(row_groups: Iterable[tuple[int, int]]) -> list[tuple[int, int]]:
+    """Merge (rows, ctx) groups sharing a context length (order-stable)."""
+    merged: dict[int, int] = {}
+    for rows, ctx in row_groups:
+        if rows <= 0:
+            continue
+        merged[ctx] = merged.get(ctx, 0) + rows
+    return [(rows, ctx) for ctx, rows in merged.items()]
 
 
-def _forward_time(
-    spec: GPUSpec, arch: ArchSpec, cfg: ServingConfig, m: int, ctx: int
+def step_time(
+    spec: GPUSpec,
+    arch: ArchSpec,
+    cfg,
+    row_groups: Sequence[tuple[int, int]],
 ) -> float:
-    total = 0.0
-    for shape, kind in _layer_gemms(arch, m, ctx):
-        b_fmt = cfg.weight_fmt if kind == "linear" else cfg.act_fmt
-        total += gemm_time(
+    """Matmul seconds for one scheduler step over ``row_groups``.
+
+    ``row_groups`` is a list of ``(rows, ctx)`` pairs: ``rows`` token rows
+    attending over a KV context of ``ctx`` tokens. The linear projections
+    and the LM head batch across all groups (they only see total rows);
+    the attention score/value products run per distinct context length.
+    A uniform batch — one group — reproduces the classic per-forward cost,
+    so :func:`simulate_inference` totals and
+    :class:`repro.serve.ServingEngine` accounting agree exactly.
+    """
+    cfg = as_serving_config(cfg)
+    groups = _merge_groups(row_groups)
+    m = sum(rows for rows, _ in groups)
+    if m == 0:
+        return 0.0
+
+    def _time(shape: GemmShape, b_fmt: str) -> float:
+        return gemm_time(
             spec,
             shape,
             a_fmt=cfg.act_fmt,
-            b_fmt=b_fmt,  # attention: KV cache in the activation format
+            b_fmt=b_fmt,
             mxplus_software=cfg.mxplus_software,
             mxplus_hardware=cfg.mxplus_hardware,
             min_tile_m=cfg.min_tile_m,
         )
-    total *= arch.n_layers
-    total += gemm_time(
-        spec,
-        GemmShape(m, arch.vocab, arch.dim),
-        a_fmt=cfg.act_fmt,
-        b_fmt=cfg.weight_fmt,
-        mxplus_software=cfg.mxplus_software,
-        mxplus_hardware=cfg.mxplus_hardware,
-        min_tile_m=cfg.min_tile_m,
-    )
+
+    kv_dim = arch.n_kv_heads * arch.head_dim
+    layer = 0.0
+    for shape in (
+        GemmShape(m, arch.dim, arch.dim),  # Q proj
+        GemmShape(m, kv_dim, arch.dim),  # K proj
+        GemmShape(m, kv_dim, arch.dim),  # V proj
+        GemmShape(m, arch.dim, arch.dim),  # O proj
+        GemmShape(m, arch.hidden, arch.dim),  # gate
+        GemmShape(m, arch.hidden, arch.dim),  # up
+        GemmShape(m, arch.dim, arch.hidden),  # down
+    ):
+        layer += _time(shape, cfg.weight_fmt)
+    # attention: scores (rows x ctx x head_dim) and values; the K/V
+    # operands stream from the KV cache in the activation format.
+    for rows, ctx in groups:
+        layer += _time(GemmShape(rows, ctx, arch.dim), cfg.act_fmt)
+        layer += _time(GemmShape(rows, arch.dim, ctx), cfg.act_fmt)
+    total = layer * arch.n_layers
+    total += _time(GemmShape(m, arch.vocab, arch.dim), cfg.weight_fmt)  # LM head
     return total
 
 
 def simulate_inference(
     arch: ArchSpec,
-    cfg: ServingConfig,
+    cfg,
     batch: int = 4,
     prompt_len: int = 1024,
     output_len: int = 64,
     spec: GPUSpec = RTX5090,
 ) -> StageTimes:
-    """Aggregate matmul time for prefill and decode stages (seconds)."""
-    prefill = _forward_time(spec, arch, cfg, m=batch * prompt_len, ctx=prompt_len)
+    """Aggregate matmul time for prefill and decode stages (seconds).
+
+    ``cfg`` may be a :class:`repro.serve.QuantRecipe`, a recipe name, or a
+    legacy :class:`ServingConfig`.
+    """
+    cfg = as_serving_config(cfg)
+    prefill = step_time(spec, arch, cfg, [(batch * prompt_len, prompt_len)])
     decode = 0.0
     for t in range(output_len):
-        ctx = prompt_len + t
-        decode += _forward_time(spec, arch, cfg, m=batch, ctx=ctx)
+        decode += step_time(spec, arch, cfg, [(batch, prompt_len + t)])
     return StageTimes(prefill_s=prefill, decode_s=decode)
 
 
 def end_to_end_speedup(
     arch: ArchSpec,
-    cfg: ServingConfig,
+    cfg,
     batch: int = 4,
     prompt_len: int = 1024,
     output_len: int = 64,
     spec: GPUSpec = RTX5090,
 ) -> float:
     """Speedup of ``cfg`` over the BF16 baseline (Figure 13)."""
-    base = simulate_inference(arch, CONFIGS["bf16"], batch, prompt_len, output_len, spec)
+    base = simulate_inference(arch, "bf16", batch, prompt_len, output_len, spec)
     ours = simulate_inference(arch, cfg, batch, prompt_len, output_len, spec)
     return base.total_s / ours.total_s

@@ -9,6 +9,10 @@ configuration, e.g.::
     QuantContext.named("mxfp4")            # A-MXFP4, W-MXFP4
     QuantContext.named("a-mxfp4+")         # MXFP4+ activations, MXFP4 weights
     QuantContext(act=None, weight=fmt)     # weight-only quantization
+
+The canonical configuration surface is :class:`repro.serve.QuantRecipe`;
+``QuantContext`` is the numeric execution object a recipe adapts to via
+``QuantRecipe.to_context()`` (and ``named`` delegates to recipe parsing).
 """
 
 from __future__ import annotations
@@ -18,10 +22,9 @@ from dataclasses import dataclass, field, replace
 import numpy as np
 
 from ..core.blocks import BlockFormat
-from ..core.registry import get_format
 from .bf16 import bf16_round
 
-__all__ = ["QuantContext", "BASELINE"]
+__all__ = ["QuantContext", "BASELINE", "as_context"]
 
 
 @dataclass
@@ -35,6 +38,7 @@ class QuantContext:
     act: BlockFormat | None = None
     weight: BlockFormat | None = None
     kv: BlockFormat | None = None  # defaults to act when left None and act set
+    lm_head: BlockFormat | None = None  # defaults to weight when left None
     bf16_base: bool = True
     quantize_lm_head: bool = True
     quantize_attention: bool = True  # QK^T and PV matmuls (incl. KV cache)
@@ -48,28 +52,16 @@ class QuantContext:
     def named(spec: str) -> "QuantContext":
         """Build a context from a paper-style name.
 
-        * ``"baseline"`` / ``"bf16"``: no block quantization.
-        * ``"mxfp4"``, ``"mxfp6+"``, ...: the format for both A and W.
-        * ``"a-mxfp4+"``: MXFP4+ activations, MXFP4 weights (A-MXFP4+).
-        * ``"a:<fmt>,w:<fmt>"``: explicit mix, e.g. ``"a:bf16,w:mxfp4"``.
+        Delegates to :meth:`repro.serve.QuantRecipe.from_name` — the
+        canonical parser — and adapts the recipe to a context. Accepts
+        ``"baseline"``/``"bf16"``, plain format names (``"mxfp4"``,
+        ``"mxfp6+"``), activation-only MX+ (``"a-mxfp4+"``), registered
+        recipe names (``"a8w4"``), and explicit mixes
+        (``"a:<fmt>,w:<fmt>[,kv:<fmt>]"``).
         """
-        s = spec.lower()
-        if s in ("baseline", "bf16"):
-            return QuantContext(name="baseline")
-        if s.startswith("a:") or ",w:" in s:
-            parts = dict(p.split(":", 1) for p in s.split(","))
-            act = None if parts.get("a", "bf16") == "bf16" else get_format(parts["a"])
-            wname = parts.get("w", "bf16")
-            weight = None if wname == "bf16" else get_format(wname)
-            return QuantContext(act=act, weight=weight, name=spec)
-        if s.startswith("a-") and s.endswith("+"):
-            base = s[2:-1]  # "a-mxfp4+" -> plain "mxfp4" for weights
-            return QuantContext(
-                act=get_format(s[2:]), weight=get_format(base), name=spec
-            )
-        fmt_a = get_format(s)
-        fmt_w = get_format(s)
-        return QuantContext(act=fmt_a, weight=fmt_w, name=spec)
+        from ..serve.recipe import QuantRecipe  # lazy: avoid import cycle
+
+        return QuantRecipe.from_name(spec).to_context()
 
     def with_(self, **kwargs) -> "QuantContext":
         return replace(self, **kwargs)
@@ -89,6 +81,27 @@ class QuantContext:
         if self.weight is None:
             return self._base(w)
         return self.weight.quantize_dequantize(self._base(w), axis=axis)
+
+    def quantize_head_weight(self, w: np.ndarray, axis: int = 0) -> np.ndarray:
+        """Quantize the LM-head weight (``lm_head`` role, falls back to
+        the weight format)."""
+        fmt = self.lm_head if self.lm_head is not None else self.weight
+        if fmt is None:
+            return self._base(w)
+        return fmt.quantize_dequantize(self._base(w), axis=axis)
+
+    def head_context(self) -> "QuantContext | None":
+        """The context the LM-head matmul should run under.
+
+        ``None`` when the head is excluded from quantization; otherwise a
+        context whose weight format is the ``lm_head`` role override (or
+        this context unchanged when no override is set).
+        """
+        if not self.quantize_lm_head:
+            return None
+        if self.lm_head is None:
+            return self
+        return self.with_(weight=self.lm_head)
 
     def quantize_kv(self, x: np.ndarray, axis: int = -1) -> np.ndarray:
         """Quantize a KV-cache / attention operand."""
@@ -110,6 +123,23 @@ class QuantContext:
         :mod:`repro.quant` so the migration stays mathematically paired.
         """
         return self.quantize_act(x, axis=-1), self.quantize_weight(w, axis=0)
+
+
+def as_context(qc) -> QuantContext | None:
+    """Normalize ``QuantContext | QuantRecipe | name | None`` to a context.
+
+    The single coercion point that lets the eval harness, the transformer,
+    and the schemes all accept a :class:`repro.serve.QuantRecipe` (or its
+    name) wherever a context is expected.
+    """
+    if qc is None or isinstance(qc, QuantContext):
+        return qc
+    if isinstance(qc, str):
+        return QuantContext.named(qc)
+    to_context = getattr(qc, "to_context", None)
+    if callable(to_context):
+        return to_context()
+    raise TypeError(f"expected QuantContext, QuantRecipe, or name, got {qc!r}")
 
 
 #: The BF16 baseline configuration (B in Figure 2).

@@ -13,7 +13,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from .layers import Embedding, Linear, Module, RMSNorm, TransformerBlock
-from .quantize import QuantContext
+from .quantize import QuantContext, as_context
 from .tensor import Tensor, no_grad
 
 __all__ = ["TransformerConfig", "TransformerLM"]
@@ -75,7 +75,12 @@ class TransformerLM(Module):
 
     # ------------------------------------------------------------------
     def __call__(self, tokens: np.ndarray, qc: QuantContext | None = None) -> Tensor:
-        """Forward pass: (batch, seq) int tokens -> (batch, seq, vocab) logits."""
+        """Forward pass: (batch, seq) int tokens -> (batch, seq, vocab) logits.
+
+        ``qc`` may be a :class:`QuantContext`, a
+        :class:`repro.serve.QuantRecipe`, or a recipe name.
+        """
+        qc = as_context(qc)
         tokens = np.asarray(tokens)
         if tokens.ndim == 1:
             tokens = tokens[None, :]
@@ -85,7 +90,7 @@ class TransformerLM(Module):
             x = block(x, qc, layer_index=i)
         x = self.final_norm(x)
         if self.lm_head is not None:
-            head_qc = qc if (qc is None or qc.quantize_lm_head) else None
+            head_qc = qc if qc is None else qc.head_context()
             return self.lm_head(x, head_qc)
         # Tied head: reuse embedding weights; quantize both operands of the
         # dot product as the paper does for the LM head.
@@ -93,7 +98,7 @@ class TransformerLM(Module):
         if qc is not None:
             x = x.apply_ste(lambda a: qc.quantize_act(a, axis=-1))
             if qc.quantize_lm_head:
-                w = w.apply_ste(lambda a: qc.quantize_weight(a, axis=0))
+                w = w.apply_ste(lambda a: qc.quantize_head_weight(a, axis=0))
         return x @ w
 
     def _positional(self, seq: int) -> Tensor:

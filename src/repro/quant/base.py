@@ -13,6 +13,14 @@ being evaluated (every forward sees the full eval batch at once, so these
 are the same numbers a calibration pass over that data would produce).
 
 ``SCHEME_MATRIX`` encodes the qualitative Table 13 comparison.
+
+Configuration note: :class:`repro.serve.QuantRecipe` is the canonical
+config entry point for the repo — its ``scope="linear-only"`` option
+reproduces this module's Table 7 protocol (no LM head, no attention
+matmuls), and ``QuantRecipe.to_context()`` is how recipes reach the
+numeric path these scheme contexts extend. The legacy
+``repro.gpu.inference.ServingConfig``/``CONFIGS`` surface is deprecated
+in favour of recipes.
 """
 
 from __future__ import annotations

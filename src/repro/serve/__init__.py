@@ -1,0 +1,28 @@
+"""Unified serving API: one recipe surface + a request-level engine.
+
+``QuantRecipe`` is the canonical configuration object for the whole repo
+(numeric accuracy path and GPU timing path alike); ``ServingEngine`` is
+the request-level front-end with continuous batching and per-request
+TTFT/TPOT accounting. Quickstart::
+
+    from repro.models.zoo import ARCHS
+    from repro.serve import QuantRecipe, Request, ServingEngine
+
+    engine = ServingEngine(ARCHS["llama-2-13b"], QuantRecipe.from_name("mxfp4+"))
+    result = engine.run([Request("r0", prompt_len=1024, max_new_tokens=64)])
+    print(result.responses[0].ttft_s, result.responses[0].tpot_s)
+"""
+
+from .recipe import QuantRecipe, available_recipes, get_recipe, register_recipe
+from .engine import Request, Response, ServingEngine, ServingResult
+
+__all__ = [
+    "QuantRecipe",
+    "register_recipe",
+    "get_recipe",
+    "available_recipes",
+    "Request",
+    "Response",
+    "ServingResult",
+    "ServingEngine",
+]

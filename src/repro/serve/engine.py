@@ -1,0 +1,356 @@
+"""Request-level serving front-end: continuous batching over the simulator.
+
+:class:`ServingEngine` turns the per-forward kernel-time model of
+:mod:`repro.gpu.inference` into an LLM *serving* loop: clients submit
+:class:`Request` objects (arrival time, prompt length, output budget), a
+continuous-batching scheduler admits and evicts them against a KV-cache
+token budget, and each request comes back as a :class:`Response` with
+per-request latency accounting (TTFT / TPOT / end-to-end).
+
+Scheduling follows the vLLM-style iteration loop: whenever waiting
+requests fit the token budget a *prefill step* runs for just those
+requests; otherwise one *decode step* advances every running request by
+one token. When decode growth overflows the budget, the most recently
+admitted request is preempted and re-enters the queue for recomputation.
+
+Timing comes from :func:`repro.gpu.inference.step_time` in virtual time —
+a uniform batch reconciles exactly with ``simulate_inference`` totals.
+With ``model=`` set (a :class:`repro.nn.transformer.TransformerLM`) the
+engine also runs the real forward under the recipe's ``QuantContext`` and
+returns generated tokens, so accuracy and timing come from one API call.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..gpu.inference import StageTimes, as_serving_config, step_time
+from ..gpu.spec import GPUSpec, RTX5090
+from ..models.zoo import ArchSpec
+from .recipe import QuantRecipe
+
+__all__ = ["Request", "Response", "ServingResult", "ServingEngine"]
+
+
+@dataclass(frozen=True)
+class Request:
+    """One client request: a prompt and a generation budget.
+
+    ``prompt_tokens`` is optional; when provided (numeric mode) it defines
+    ``prompt_len``, and the engine generates real tokens with the model.
+    """
+
+    request_id: str
+    prompt_len: int = 0
+    max_new_tokens: int = 1
+    arrival_s: float = 0.0
+    # excluded from eq/hash: ndarrays have no scalar truth value
+    prompt_tokens: np.ndarray | None = field(default=None, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.prompt_tokens is not None:
+            tokens = np.asarray(self.prompt_tokens)
+            object.__setattr__(self, "prompt_tokens", tokens)
+            object.__setattr__(self, "prompt_len", int(tokens.shape[-1]))
+        if self.prompt_len <= 0:
+            raise ValueError(f"request {self.request_id!r}: empty prompt")
+        if self.max_new_tokens < 1:
+            raise ValueError(f"request {self.request_id!r}: max_new_tokens < 1")
+        if self.arrival_s < 0:
+            raise ValueError(f"request {self.request_id!r}: negative arrival")
+
+
+@dataclass
+class Response:
+    """Per-request serving outcome with latency accounting."""
+
+    request_id: str
+    prompt_len: int
+    output_len: int
+    arrival_s: float
+    first_token_s: float  # virtual time the first output token completed
+    finish_s: float
+    preemptions: int = 0
+    tokens: np.ndarray | None = None  # numeric mode only
+
+    @property
+    def ttft_s(self) -> float:
+        """Time to first token: queueing + prefill + first decode step."""
+        return self.first_token_s - self.arrival_s
+
+    @property
+    def tpot_s(self) -> float:
+        """Time per output token after the first (0 for 1-token outputs)."""
+        if self.output_len <= 1:
+            return 0.0
+        return (self.finish_s - self.first_token_s) / (self.output_len - 1)
+
+    @property
+    def e2e_latency_s(self) -> float:
+        return self.finish_s - self.arrival_s
+
+
+@dataclass
+class ServingResult:
+    """Batch outcome: responses (input order) + aggregate accounting."""
+
+    responses: list[Response]
+    stages: StageTimes  # aggregate prefill/decode seconds across all steps
+    makespan_s: float  # last finish time (virtual clock)
+    n_prefill_steps: int = 0
+    n_decode_steps: int = 0
+    preemptions: int = 0
+
+    @property
+    def total_tokens(self) -> int:
+        return sum(r.output_len for r in self.responses)
+
+    @property
+    def throughput_tok_s(self) -> float:
+        return self.total_tokens / self.makespan_s if self.makespan_s else 0.0
+
+    @property
+    def mean_ttft_s(self) -> float:
+        if not self.responses:
+            return 0.0
+        return float(np.mean([r.ttft_s for r in self.responses]))
+
+    @property
+    def mean_tpot_s(self) -> float:
+        if not self.responses:
+            return 0.0
+        return float(np.mean([r.tpot_s for r in self.responses]))
+
+    def summary(self) -> dict[str, float]:
+        return {
+            "requests": len(self.responses),
+            "total_tokens": self.total_tokens,
+            "makespan_s": self.makespan_s,
+            "prefill_s": self.stages.prefill_s,
+            "decode_s": self.stages.decode_s,
+            "throughput_tok_s": self.throughput_tok_s,
+            "mean_ttft_s": self.mean_ttft_s,
+            "mean_tpot_s": self.mean_tpot_s,
+            "preemptions": self.preemptions,
+        }
+
+
+@dataclass
+class _Active:
+    """Scheduler-internal state for one admitted (or requeued) request."""
+
+    request: Request
+    order: int  # admission sequence number (eviction picks the max)
+    generated: int = 0
+    first_token_s: float = -1.0
+    preemptions: int = 0
+    tokens: list = field(default_factory=list)  # numeric mode
+
+    @property
+    def ctx(self) -> int:
+        """Tokens currently resident in the KV cache."""
+        return self.request.prompt_len + self.generated
+
+    @property
+    def done(self) -> bool:
+        return self.generated >= self.request.max_new_tokens
+
+
+class ServingEngine:
+    """Continuous-batching serving loop over one :class:`QuantRecipe`.
+
+    Parameters
+    ----------
+    arch:
+        Full-size architecture descriptor (``repro.models.zoo.ARCHS``)
+        driving the kernel-time model.
+    recipe:
+        A :class:`QuantRecipe`, recipe name, or legacy ``ServingConfig``
+        (the latter timing-only: numeric mode requires a recipe).
+    spec:
+        GPU spec for the roofline model (default RTX 5090-class).
+    kv_token_budget:
+        Maximum tokens resident in the KV cache across running requests;
+        admission and preemption enforce it.
+    max_batch:
+        Maximum concurrently running requests.
+    model:
+        Optional :class:`~repro.nn.transformer.TransformerLM`. When set,
+        requests carrying ``prompt_tokens`` are decoded for real (greedy)
+        under ``recipe.to_context()`` and responses include ``tokens``.
+    """
+
+    def __init__(
+        self,
+        arch: ArchSpec,
+        recipe,
+        spec: GPUSpec = RTX5090,
+        kv_token_budget: int = 262_144,
+        max_batch: int = 256,
+        model=None,
+    ) -> None:
+        if isinstance(recipe, str):
+            recipe = QuantRecipe.from_name(recipe)
+        if kv_token_budget < 1:
+            raise ValueError("kv_token_budget must be >= 1")
+        if max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        self.arch = arch
+        self.recipe = recipe
+        self.spec = spec
+        self.cfg = as_serving_config(recipe)
+        self.kv_token_budget = kv_token_budget
+        self.max_batch = max_batch
+        self.model = model
+        self._qc = None
+        if model is not None:
+            if not isinstance(recipe, QuantRecipe):
+                # A bare ServingConfig carries timing knobs only — running
+                # the model without the matching QuantContext would pair
+                # quantized timing with unquantized tokens.
+                raise ValueError(
+                    "numeric mode (model=...) requires a QuantRecipe or "
+                    f"recipe name, got {type(recipe).__name__}"
+                )
+            self._qc = recipe.to_context()
+
+    # ------------------------------------------------------------------
+    def run(self, requests: list[Request]) -> ServingResult:
+        """Serve ``requests`` to completion; responses keep input order."""
+        if not requests:
+            return ServingResult([], StageTimes(0.0, 0.0), 0.0)
+        order = {r.request_id: i for i, r in enumerate(requests)}
+        if len(order) != len(requests):
+            raise ValueError("duplicate request_id in batch")
+        largest = max(r.prompt_len + r.max_new_tokens for r in requests)
+        if largest > self.kv_token_budget:
+            raise ValueError(
+                f"kv_token_budget={self.kv_token_budget} cannot hold the "
+                f"largest request ({largest} tokens)"
+            )
+
+        waiting: deque[_Active] = deque(
+            _Active(request=r, order=-1)
+            for r in sorted(requests, key=lambda r: (r.arrival_s, order[r.request_id]))
+        )
+        running: list[_Active] = []
+        finished: dict[str, Response] = {}
+        clock = 0.0
+        prefill_s = decode_s = 0.0
+        n_prefill = n_decode = preemptions = 0
+        admit_seq = 0
+
+        while waiting or running:
+            # Idle engine: jump to the next arrival.
+            if not running and waiting and waiting[0].request.arrival_s > clock:
+                clock = waiting[0].request.arrival_s
+
+            admitted = self._admit(waiting, running, clock)
+            if admitted:
+                for state in admitted:
+                    state.order = admit_seq
+                    admit_seq += 1
+                # Prefill step: all admitted prompts (requeued requests
+                # recompute their full context) processed together.
+                t = step_time(
+                    self.spec, self.arch, self.cfg,
+                    [(s.ctx, s.ctx) for s in admitted],
+                )
+                clock += t
+                prefill_s += t
+                n_prefill += 1
+                running.extend(admitted)
+                continue  # re-check admissions before the next decode
+
+            # Decode step: grow every running request by one token.
+            preemptions += self._preempt_overflow(waiting, running)
+            t = step_time(
+                self.spec, self.arch, self.cfg,
+                [(1, s.ctx) for s in running],
+            )
+            clock += t
+            decode_s += t
+            n_decode += 1
+            for state in running:
+                if self.model is not None and state.request.prompt_tokens is not None:
+                    state.tokens.append(self._next_token(state))
+                state.generated += 1
+                if state.first_token_s < 0:
+                    state.first_token_s = clock
+            for state in [s for s in running if s.done]:
+                running.remove(state)
+                finished[state.request.request_id] = self._response(state, clock)
+
+        responses = [finished[r.request_id] for r in requests]
+        return ServingResult(
+            responses=responses,
+            stages=StageTimes(prefill_s=prefill_s, decode_s=decode_s),
+            makespan_s=clock,
+            n_prefill_steps=n_prefill,
+            n_decode_steps=n_decode,
+            preemptions=preemptions,
+        )
+
+    # ------------------------------------------------------------------
+    def _used_tokens(self, running: list[_Active]) -> int:
+        return sum(s.ctx for s in running)
+
+    def _admit(
+        self, waiting: deque[_Active], running: list[_Active], clock: float
+    ) -> list[_Active]:
+        """Pop every waiting request that has arrived and fits the budget."""
+        admitted: list[_Active] = []
+        used = self._used_tokens(running)
+        while waiting and len(running) + len(admitted) < self.max_batch:
+            nxt = waiting[0]
+            if nxt.request.arrival_s > clock:
+                break
+            if used + nxt.ctx > self.kv_token_budget:
+                break
+            used += nxt.ctx
+            admitted.append(waiting.popleft())
+        return admitted
+
+    def _preempt_overflow(
+        self, waiting: deque[_Active], running: list[_Active]
+    ) -> int:
+        """Evict newest-admitted requests if the next decode would overflow."""
+        evicted = 0
+        while (
+            len(running) > 1
+            and self._used_tokens(running) + len(running) > self.kv_token_budget
+        ):
+            victim = max(running, key=lambda s: s.order)
+            running.remove(victim)
+            victim.preemptions += 1
+            waiting.appendleft(victim)  # recompute as soon as space frees up
+            evicted += 1
+        return evicted
+
+    # ------------------------------------------------------------------
+    def _next_token(self, state: _Active) -> int:
+        """Greedy next token from the real model (numeric mode)."""
+        seq = np.concatenate(
+            [np.asarray(state.request.prompt_tokens), np.array(state.tokens, dtype=int)]
+        ) if state.tokens else np.asarray(state.request.prompt_tokens)
+        window = seq[-self.model.config.max_seq :]
+        from ..nn.tensor import no_grad
+
+        with no_grad():
+            logits = self.model(window[None, :], self._qc).data[0, -1]
+        return int(np.argmax(logits))
+
+    def _response(self, state: _Active, clock: float) -> Response:
+        return Response(
+            request_id=state.request.request_id,
+            prompt_len=state.request.prompt_len,
+            output_len=state.generated,
+            arrival_s=state.request.arrival_s,
+            first_token_s=state.first_token_s,
+            finish_s=clock,
+            preemptions=state.preemptions,
+            tokens=np.array(state.tokens, dtype=int) if state.tokens else None,
+        )

@@ -1,0 +1,289 @@
+"""`QuantRecipe`: the single deployment-configuration surface.
+
+The paper treats format choice as a *deployment recipe*: which microscaling
+format each tensor role uses (activations, weights, KV cache, LM head,
+attention matmuls), how MX+ is integrated (software Algorithm 1 vs. the
+Tensor-Core BCU of Section 6), and the scheme scope (full direct-cast flow
+vs. the linear-only Table 7 protocol). ``QuantRecipe`` captures one such
+recipe as a frozen, validated dataclass and adapts it to every consumer::
+
+    recipe = QuantRecipe.from_name("a-mxfp4+")
+    recipe.to_context()         # numeric path: repro.nn / repro.eval / repro.quant
+    recipe.to_serving_config()  # timing path: repro.gpu.inference
+    ServingEngine(arch, recipe) # request-level serving: repro.serve.engine
+
+Named recipes live in a registry (``register_recipe`` / ``get_recipe``)
+that replaces the old hardcoded ``repro.gpu.inference.CONFIGS`` dict;
+``CONFIGS`` remains as a thin deprecated view onto this registry.
+
+Role fields hold *format names* (strings), not format objects, so recipes
+stay hashable, comparable, and trivially serializable; formats are
+instantiated on adaptation via :func:`repro.core.registry.get_format`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from ..core.registry import available_formats, get_format, suggest_near_misses
+
+__all__ = [
+    "QuantRecipe",
+    "register_recipe",
+    "get_recipe",
+    "available_recipes",
+]
+
+#: sentinel role value: inherit the role's natural default (see QuantRecipe).
+AUTO = "auto"
+#: role value meaning "leave this role in baseline (BF16) precision".
+BF16 = "bf16"
+
+_INTEGRATIONS = ("none", "software", "hardware")
+_SCOPES = ("full", "linear-only")
+
+
+def _is_format(name: str) -> bool:
+    try:
+        get_format(name)
+    except KeyError:
+        return False
+    return True
+
+
+@dataclass(frozen=True)
+class QuantRecipe:
+    """One validated serving recipe: per-role formats + integration path.
+
+    Role fields take a format name (see ``repro.core.available_formats()``),
+    ``"bf16"`` (baseline precision), or ``"auto"``:
+
+    * ``kv="auto"`` — KV cache / attention operands follow ``act``.
+    * ``lm_head="auto"`` — the LM head weight follows ``weight``;
+      ``lm_head="bf16"`` leaves the head matmul unquantized.
+    * ``attention="auto"`` — quantize the QK^T / PV matmuls;
+      ``attention="bf16"`` leaves them in baseline precision.
+
+    ``integration`` selects how MX+ formats reach the Tensor Cores:
+    ``"software"`` (Algorithm 1: one extra sparse MMA on the activation
+    operand), ``"hardware"`` (Section 6 BCU), or ``"none"``.
+
+    ``scope="linear-only"`` restricts quantization to weight-activation
+    matmuls (the Table 7 scheme-comparison protocol).
+    """
+
+    name: str
+    act: str = BF16
+    weight: str = BF16
+    kv: str = AUTO
+    lm_head: str = AUTO
+    attention: str = AUTO
+    integration: str = "none"
+    scope: str = "full"
+    bf16_base: bool = True
+    min_tile_m: int = 1  # kernel tile granularity on M (A8W4: 128)
+
+    # ------------------------------------------------------------------
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("QuantRecipe.name must be a non-empty string")
+        for role in ("act", "weight"):
+            value = getattr(self, role)
+            if value != BF16 and not _is_format(value):
+                raise KeyError(
+                    f"recipe {self.name!r}: unknown {role} format {value!r}"
+                    f"{suggest_near_misses(value, available_formats())}"
+                )
+        if self.kv == BF16:
+            raise ValueError(
+                f"recipe {self.name!r}: kv='bf16' is ambiguous — use "
+                "attention='bf16' to keep attention matmuls in baseline "
+                "precision, or kv='auto' to follow the activation format"
+            )
+        if self.kv != AUTO and not _is_format(self.kv):
+            raise KeyError(
+                f"recipe {self.name!r}: unknown kv format {self.kv!r}"
+                f"{suggest_near_misses(self.kv, available_formats())}"
+            )
+        if self.lm_head not in (AUTO, BF16) and not _is_format(self.lm_head):
+            raise KeyError(
+                f"recipe {self.name!r}: unknown lm_head format {self.lm_head!r}"
+                f"{suggest_near_misses(self.lm_head, available_formats())}"
+            )
+        if self.attention not in (AUTO, BF16):
+            raise ValueError(
+                f"recipe {self.name!r}: attention must be 'auto' or 'bf16', "
+                f"got {self.attention!r} (use kv=<fmt> to pick the KV format)"
+            )
+        if self.integration not in _INTEGRATIONS:
+            raise ValueError(
+                f"recipe {self.name!r}: integration must be one of "
+                f"{_INTEGRATIONS}, got {self.integration!r}"
+            )
+        if self.integration != "none" and "+" not in self.act + self.weight:
+            raise ValueError(
+                f"recipe {self.name!r}: integration={self.integration!r} "
+                "requires an MX+ family format on the act or weight role"
+            )
+        if self.scope not in _SCOPES:
+            raise ValueError(
+                f"recipe {self.name!r}: scope must be one of {_SCOPES}, "
+                f"got {self.scope!r}"
+            )
+        if self.min_tile_m < 1:
+            raise ValueError(
+                f"recipe {self.name!r}: min_tile_m must be >= 1, "
+                f"got {self.min_tile_m}"
+            )
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def from_name(spec: str) -> "QuantRecipe":
+        """Resolve a paper-style name into a recipe (case-insensitive).
+
+        * a registered recipe name (``"a-mxfp4+"``, ``"a8w4"``, ...);
+        * ``"baseline"`` / ``"bf16"``: no block quantization;
+        * ``"a-<fmt>+"``: MX+ activations over base-format weights under
+          software integration (the paper's A-MXFP4+ configuration);
+        * ``"a:<fmt>,w:<fmt>[,kv:<fmt>]"``: an explicit per-role mix;
+        * any plain format name: that format on both A and W (MX+/MX++
+          formats imply hardware integration).
+
+        Raises ``KeyError`` with near-miss suggestions for unknown names.
+        """
+        key = str(spec).strip().lower()
+        if key == "baseline":
+            key = BF16
+        if key in _RECIPES:
+            return _RECIPES[key]
+        if ":" in key:
+            return QuantRecipe._from_role_spec(key)
+        if key.startswith("a-") and key.endswith("+") and not key.endswith("++"):
+            fmt = key[2:]
+            base = fmt[:-1]
+            if _is_format(fmt) and _is_format(base):
+                return QuantRecipe(
+                    name=key, act=fmt, weight=base, integration="software"
+                )
+        if _is_format(key):
+            integration = "hardware" if key.endswith("+") else "none"
+            return QuantRecipe(name=key, act=key, weight=key, integration=integration)
+        candidates = sorted(set(available_recipes()) | set(available_formats()))
+        raise KeyError(
+            f"unknown recipe or format {spec!r}{suggest_near_misses(key, candidates)} "
+            f"(available recipes: {', '.join(available_recipes())}; "
+            f"formats: {', '.join(available_formats())})"
+        )
+
+    @staticmethod
+    def _from_role_spec(key: str) -> "QuantRecipe":
+        """Parse an explicit ``"a:<fmt>,w:<fmt>[,kv:<fmt>]"`` mix."""
+        roles = {"a": BF16, "w": BF16, "kv": AUTO}
+        for part in key.split(","):
+            if ":" not in part:
+                raise KeyError(f"malformed role spec {part!r} in {key!r}")
+            role, fmt = part.split(":", 1)
+            if role not in roles:
+                raise KeyError(
+                    f"unknown role {role!r} in {key!r}; roles: a, w, kv"
+                )
+            roles[role] = fmt
+        return QuantRecipe(name=key, act=roles["a"], weight=roles["w"], kv=roles["kv"])
+
+    def with_(self, **kwargs) -> "QuantRecipe":
+        """A modified copy (``dataclasses.replace`` with validation)."""
+        return replace(self, **kwargs)
+
+    # ------------------------------------------------------------------
+    # adapters: the one recipe object feeds both repo paths
+    # ------------------------------------------------------------------
+    def to_context(self):
+        """Adapt to the numeric path: a :class:`repro.nn.quantize.QuantContext`."""
+        from ..nn.quantize import QuantContext
+
+        full = self.scope == "full"
+        head_override = (
+            None if self.lm_head in (AUTO, BF16) else get_format(self.lm_head)
+        )
+        return QuantContext(
+            act=None if self.act == BF16 else get_format(self.act),
+            weight=None if self.weight == BF16 else get_format(self.weight),
+            kv=None if self.kv == AUTO else get_format(self.kv),
+            lm_head=head_override,
+            quantize_lm_head=full and self.lm_head != BF16,
+            quantize_attention=full and self.attention != BF16,
+            bf16_base=self.bf16_base,
+            name=self.name,
+        )
+
+    def to_serving_config(self):
+        """Adapt to the timing path: a :class:`repro.gpu.inference.ServingConfig`."""
+        from ..gpu.inference import ServingConfig
+
+        return ServingConfig(
+            name=self.name,
+            act_fmt=self.act,
+            weight_fmt=self.weight,
+            mxplus_software=self.integration == "software",
+            mxplus_hardware=self.integration == "hardware",
+            min_tile_m=self.min_tile_m,
+        )
+
+
+# ----------------------------------------------------------------------
+# recipe registry (replaces repro.gpu.inference.CONFIGS)
+# ----------------------------------------------------------------------
+_RECIPES: dict[str, QuantRecipe] = {}
+
+
+def register_recipe(recipe: QuantRecipe, overwrite: bool = False) -> QuantRecipe:
+    """Register a named recipe; raises on duplicates unless ``overwrite``."""
+    key = recipe.name.lower()
+    if key in _RECIPES and not overwrite:
+        raise ValueError(
+            f"recipe {recipe.name!r} is already registered; "
+            "pass overwrite=True to replace it"
+        )
+    _RECIPES[key] = recipe
+    return recipe
+
+
+def available_recipes() -> list[str]:
+    """Sorted names of all registered recipes."""
+    return sorted(_RECIPES)
+
+
+def get_recipe(name: str) -> QuantRecipe:
+    """Look up a registered recipe; raises ``KeyError`` with suggestions."""
+    key = name.lower()
+    if key == "baseline":
+        key = BF16
+    if key not in _RECIPES:
+        raise KeyError(
+            f"unknown recipe {name!r}{suggest_near_misses(key, available_recipes())} "
+            f"(available: {', '.join(available_recipes())})"
+        )
+    return _RECIPES[key]
+
+
+# The serving configurations evaluated in Figures 11-13, plus the wider MX
+# ladder. Names match the paper's labels (A-MXFP4+ = software integration;
+# plain MXFP4+/MXFP4++ = Section 6 hardware integration).
+for _recipe in (
+    QuantRecipe("bf16"),
+    QuantRecipe("mxfp4", act="mxfp4", weight="mxfp4"),
+    QuantRecipe("mxfp6", act="mxfp6", weight="mxfp6"),
+    QuantRecipe("mxfp8", act="mxfp8", weight="mxfp8"),
+    QuantRecipe("a-mxfp4+", act="mxfp4+", weight="mxfp4", integration="software"),
+    QuantRecipe("a-mxfp6+", act="mxfp6+", weight="mxfp6", integration="software"),
+    QuantRecipe("a-mxfp8+", act="mxfp8+", weight="mxfp8", integration="software"),
+    QuantRecipe("mxfp4+", act="mxfp4+", weight="mxfp4+", integration="hardware"),
+    QuantRecipe("mxfp6+", act="mxfp6+", weight="mxfp6+", integration="hardware"),
+    QuantRecipe("mxfp8+", act="mxfp8+", weight="mxfp8+", integration="hardware"),
+    QuantRecipe("mxfp4++", act="mxfp4++", weight="mxfp4++", integration="hardware"),
+    # CUTLASS ships a single M=128 tile shape for A8W4 (Section 7.4), so
+    # decode (M = batch) pays heavy tile padding.
+    QuantRecipe("a8w4", act="mxfp8", weight="mxfp4", min_tile_m=128),
+):
+    register_recipe(_recipe)
+del _recipe
