@@ -1,0 +1,104 @@
+"""Scale-out serving walkthrough: paged KV, workloads, and a cluster.
+
+Shows the three layers added on top of `ServingEngine`:
+ 1. `PagedKVCache.from_byte_budget` — the recipe's KV format sets how
+    many tokens (and hence requests) fit one replica's page budget;
+ 2. `workload` generators — seeded bursty traffic and the shared-prefix
+    chat scenario, plus JSONL trace replay;
+ 3. `ServingCluster` — N replicas behind a router, with fleet metrics
+    including goodput under a latency SLO.
+
+Run:  python examples/cluster_serving.py
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro.models.zoo import ARCHS
+from repro.serve import (
+    PagedKVCache,
+    Request,
+    ServingCluster,
+    ServingEngine,
+    chat_workload,
+    get_recipe,
+    kv_token_bytes,
+    load_trace,
+    make_workload,
+    save_trace,
+)
+
+arch = ARCHS["llama-2-13b"]
+GIB = 1 << 30
+BUDGET = 4 * GIB
+
+# ----------------------------------------------------------------------
+# 1. Format -> capacity: equal page budget, different KV formats.
+# ----------------------------------------------------------------------
+print(f"Paged KV capacity at {BUDGET // GIB} GiB/replica ({arch.name}, 16-token pages)\n")
+print(f"{'recipe':>10s} {'KB/token':>9s} {'capacity tok':>13s} {'peak running':>13s} "
+      f"{'preempt':>8s} {'tok/s':>8s}")
+burst = [Request(f"b{i}", prompt_len=512, max_new_tokens=32) for i in range(32)]
+for name in ["bf16", "mxfp8", "a-mxfp4+", "mxfp4+", "mxfp4"]:
+    recipe = get_recipe(name)
+    cache = PagedKVCache.from_byte_budget(BUDGET, arch, recipe, block_tokens=16)
+    result = ServingEngine(arch, recipe, kv_cache=cache).run(burst)
+    print(f"{name:>10s} {kv_token_bytes(arch, recipe) / 1024:9.0f} "
+          f"{cache.capacity_tokens:13d} {result.peak_running:13d} "
+          f"{result.preemptions:8d} {result.throughput_tok_s:8.0f}")
+
+print("""
+The MX+ memory win as serving capacity: a 4.5-bit KV cache holds ~3.6x
+the BF16 tokens, so the same GPU admits the whole 32-request burst where
+BF16 thrashes (preemptions) at a third of the concurrency.""")
+
+# ----------------------------------------------------------------------
+# 2. Shared-prefix chat: system prompts stored once, prefill skipped.
+# ----------------------------------------------------------------------
+chat = chat_workload(32, n_prefixes=2, prefix_len=512, seed=0, rate_rps=40.0)
+stripped = [Request(r.request_id, prompt_len=r.prompt_len,
+                    max_new_tokens=r.max_new_tokens, arrival_s=r.arrival_s)
+            for r in chat]
+print("Shared-prefix chat (MXFP4+, 2 system prompts x 512 tokens):")
+for label, reqs in (("with prefix cache", chat), ("without", stripped)):
+    cache = PagedKVCache.from_byte_budget(BUDGET, arch, "mxfp4+", block_tokens=16)
+    r = ServingEngine(arch, "mxfp4+", kv_cache=cache).run(reqs)
+    print(f"  {label:>18s}: mean TTFT {r.mean_ttft_s * 1e3:6.1f} ms, "
+          f"prefill {r.stages.prefill_s * 1e3:6.1f} ms, "
+          f"{r.kv['prefix_hits']} hits / {r.kv['prefix_tokens_reused']} tokens reused")
+
+# ----------------------------------------------------------------------
+# 3. Traces round-trip as JSONL.
+# ----------------------------------------------------------------------
+with tempfile.TemporaryDirectory() as tmp:
+    trace = Path(tmp) / "chat.jsonl"
+    save_trace(trace, chat)
+    assert load_trace(trace) == chat
+    print(f"\nTrace replay: {len(chat)} requests -> {trace.name} "
+          f"({trace.stat().st_size} bytes) -> identical requests back")
+
+# ----------------------------------------------------------------------
+# 4. Fleet: replicas x routers, goodput under SLO.
+# ----------------------------------------------------------------------
+reqs = make_workload(48, seed=1, arrival="bursty", rate_rps=400.0, burst_size=12)
+print("\nFleet scaling (MXFP4+, least-kv-load, bursty x48):")
+for n in (1, 2, 4):
+    fleet = ServingCluster(arch, "mxfp4+", n_replicas=n, router="least-kv-load",
+                           page_budget_bytes=BUDGET, block_tokens=16).run(reqs)
+    print(f"  {n} replica(s): {fleet.throughput_tok_s:6.0f} tok/s, "
+          f"mean TTFT {fleet.mean_ttft_s * 1e3:6.1f} ms, "
+          f"goodput@(TTFT<500ms) {fleet.goodput_tok_s(ttft_slo_s=0.5):6.0f} tok/s")
+
+print("\nRouters on the chat workload (4 replicas, 4 system prompts):")
+chat4 = chat_workload(48, n_prefixes=4, prefix_len=512, seed=3, rate_rps=60.0)
+for router in ("round-robin", "least-kv-load", "prefix-affinity"):
+    fleet = ServingCluster(arch, "mxfp4+", n_replicas=4, router=router,
+                           page_budget_bytes=BUDGET, block_tokens=16).run(chat4)
+    hits = sum(r.kv["prefix_hits"] for r in fleet.replica_results)
+    misses = sum(r.kv["prefix_misses"] for r in fleet.replica_results)
+    print(f"  {router:>15s}: {hits:2d} prefix hits / {misses:2d} misses, "
+          f"mean TTFT {fleet.mean_ttft_s * 1e3:5.1f} ms")
+
+print("""
+prefix-affinity pins each system prompt to one replica, so the fleet
+stores it once and every follow-up turn hits the cached pages.""")

@@ -1,13 +1,16 @@
 """GPU serving simulation through the unified `repro.serve` API: the
 stage-level Figure 11/13 numbers plus a request-level continuous-batching
-run with per-request TTFT/TPOT accounting.
+run with per-request TTFT/TPOT accounting over a paged KV cache.
+
+For the multi-replica cluster, workload generators, and shared-prefix
+caching, continue with examples/cluster_serving.py.
 
 Run:  python examples/serving_simulation.py
 """
 
 from repro.gpu.inference import end_to_end_speedup, simulate_inference
 from repro.models.zoo import ARCHS
-from repro.serve import QuantRecipe, Request, ServingEngine, get_recipe
+from repro.serve import PagedKVCache, QuantRecipe, Request, ServingEngine, get_recipe
 
 arch = ARCHS["llama-2-13b"]
 print(f"Serving {arch.name} (dim={arch.dim}, layers={arch.n_layers}) — "
@@ -40,10 +43,14 @@ for name in ["llama-2-7b", "llama-2-13b", "llama-3.1-8b"]:
 
 # ----------------------------------------------------------------------
 # Request-level serving: a mixed batch under continuous batching.
+# KV memory goes through a paged allocator — here 16-token pages sized
+# to a 16k-token budget; with requests declaring `prefix_id`, common
+# system prompts would be stored once (see examples/cluster_serving.py).
 # ----------------------------------------------------------------------
 print("\nContinuous batching (MXFP4+ recipe): 8 mixed requests")
 engine = ServingEngine(
-    arch, QuantRecipe.from_name("mxfp4+"), kv_token_budget=16_384
+    arch, QuantRecipe.from_name("mxfp4+"),
+    kv_cache=PagedKVCache.from_token_budget(16_384, block_tokens=16),
 )
 requests = [
     Request(f"req-{i}", prompt_len=256 * (1 + i % 4),
@@ -62,4 +69,6 @@ print(f"\n  throughput: {summary['throughput_tok_s']:.0f} tok/s, "
       f"mean TTFT {summary['mean_ttft_s'] * 1e3:.1f} ms, "
       f"mean TPOT {summary['mean_tpot_s'] * 1e3:.2f} ms "
       f"({result.n_prefill_steps} prefill / {result.n_decode_steps} decode steps, "
-      f"{summary['preemptions']} preemptions)")
+      f"{summary['preemptions']} preemptions, "
+      f"peak concurrency {summary['peak_running']}, "
+      f"{result.kv['used_blocks']}/{result.kv['num_blocks']} pages in use at end)")

@@ -42,6 +42,8 @@ __all__ = [
     "step_time",
     "simulate_inference",
     "end_to_end_speedup",
+    "step_time_cache_info",
+    "clear_step_time_cache",
 ]
 
 
@@ -142,6 +144,46 @@ def _merge_groups(row_groups: Iterable[tuple[int, int]]) -> list[tuple[int, int]
     return [(rows, ctx) for ctx, rows in merged.items()]
 
 
+# Step-time memo: a multi-replica cluster replays the same (spec, arch,
+# cfg, groups) step shape once per replica per scheduler iteration, so
+# decode sweeps are dominated by identical recomputation. The key covers
+# every GPUSpec field (specs are frozen but carry an unhashable dict).
+_STEP_CACHE: dict[tuple, float] = {}
+_STEP_CACHE_MAX = 1 << 18
+_step_cache_hits = 0
+_step_cache_misses = 0
+
+
+def _spec_key(spec: GPUSpec) -> tuple:
+    return (
+        spec.name,
+        spec.num_sms,
+        spec.tensor_cores_per_sm,
+        spec.clock_ghz,
+        spec.mem_bw_gbps,
+        spec.fp4_macs_per_cycle_per_tc,
+        tuple(sorted(spec.format_throughput.items())),
+        spec.native_mx,
+        spec.sparse_speedup,
+    )
+
+
+def step_time_cache_info() -> dict:
+    """Hit/miss/size counters for the step-time memo cache."""
+    return {
+        "hits": _step_cache_hits,
+        "misses": _step_cache_misses,
+        "size": len(_STEP_CACHE),
+    }
+
+
+def clear_step_time_cache() -> None:
+    """Drop all memoized step times (counters reset too)."""
+    global _step_cache_hits, _step_cache_misses
+    _STEP_CACHE.clear()
+    _step_cache_hits = _step_cache_misses = 0
+
+
 def step_time(
     spec: GPUSpec,
     arch: ArchSpec,
@@ -157,12 +199,23 @@ def step_time(
     A uniform batch — one group — reproduces the classic per-forward cost,
     so :func:`simulate_inference` totals and
     :class:`repro.serve.ServingEngine` accounting agree exactly.
+
+    Results are memoized on the full (spec, arch, cfg, merged groups)
+    key — replicas of a :class:`repro.serve.ServingCluster` that hit the
+    same step shape pay the roofline evaluation once.
     """
     cfg = as_serving_config(cfg)
     groups = _merge_groups(row_groups)
     m = sum(rows for rows, _ in groups)
     if m == 0:
         return 0.0
+    global _step_cache_hits, _step_cache_misses
+    key = (_spec_key(spec), arch, cfg, tuple(sorted(groups)))
+    cached = _STEP_CACHE.get(key)
+    if cached is not None:
+        _step_cache_hits += 1
+        return cached
+    _step_cache_misses += 1
 
     def _time(shape: GemmShape, b_fmt: str) -> float:
         return gemm_time(
@@ -194,6 +247,9 @@ def step_time(
         layer += _time(GemmShape(rows, arch.dim, ctx), cfg.act_fmt)
     total = layer * arch.n_layers
     total += _time(GemmShape(m, arch.vocab, arch.dim), cfg.weight_fmt)  # LM head
+    if len(_STEP_CACHE) >= _STEP_CACHE_MAX:
+        _STEP_CACHE.clear()
+    _STEP_CACHE[key] = total
     return total
 
 

@@ -1,28 +1,83 @@
-"""Unified serving API: one recipe surface + a request-level engine.
+"""Unified serving API: recipes, paged KV, workloads, engine, cluster.
 
 ``QuantRecipe`` is the canonical configuration object for the whole repo
-(numeric accuracy path and GPU timing path alike); ``ServingEngine`` is
-the request-level front-end with continuous batching and per-request
-TTFT/TPOT accounting. Quickstart::
+(numeric accuracy path and GPU timing path alike). On top of it sit the
+serving layers added across PRs 1-2:
+
+* :class:`ServingEngine` — one replica: continuous batching with
+  per-request TTFT/TPOT accounting over a paged KV cache;
+* :class:`PagedKVCache` — block-granular KV allocation with per-recipe
+  byte accounting and shared-prefix caching;
+* :mod:`repro.serve.workload` — seeded synthetic workloads (Poisson /
+  bursty arrivals, length distributions, shared-prefix chat) and JSONL
+  trace replay;
+* :class:`ServingCluster` — N replicas behind a pluggable router
+  (round-robin / least-KV-load / prefix-affinity) with fleet metrics
+  including goodput under SLO.
+
+Quickstart::
 
     from repro.models.zoo import ARCHS
-    from repro.serve import QuantRecipe, Request, ServingEngine
+    from repro.serve import ServingCluster, chat_workload
 
-    engine = ServingEngine(ARCHS["llama-2-13b"], QuantRecipe.from_name("mxfp4+"))
-    result = engine.run([Request("r0", prompt_len=1024, max_new_tokens=64)])
-    print(result.responses[0].ttft_s, result.responses[0].tpot_s)
+    cluster = ServingCluster(
+        ARCHS["llama-2-13b"], "mxfp4+", n_replicas=4,
+        router="prefix-affinity", page_budget_bytes=8 << 30,
+    )
+    fleet = cluster.run(chat_workload(64, n_prefixes=4, prefix_len=512, seed=0))
+    print(fleet.summary(ttft_slo_s=2.0, tpot_slo_s=0.05))
 """
 
 from .recipe import QuantRecipe, available_recipes, get_recipe, register_recipe
+from .kvcache import PagedKVCache, format_kv_bits, kv_token_bytes
 from .engine import Request, Response, ServingEngine, ServingResult
+from .workload import (
+    LengthDist,
+    bursty_arrivals,
+    chat_workload,
+    load_trace,
+    make_workload,
+    poisson_arrivals,
+    save_trace,
+)
+from .cluster import (
+    FleetResult,
+    LeastKVLoadRouter,
+    PrefixAffinityRouter,
+    ROUTERS,
+    RoundRobinRouter,
+    Router,
+    ServingCluster,
+    available_routers,
+    get_router,
+)
 
 __all__ = [
     "QuantRecipe",
     "register_recipe",
     "get_recipe",
     "available_recipes",
+    "PagedKVCache",
+    "kv_token_bytes",
+    "format_kv_bits",
     "Request",
     "Response",
     "ServingResult",
     "ServingEngine",
+    "LengthDist",
+    "poisson_arrivals",
+    "bursty_arrivals",
+    "make_workload",
+    "chat_workload",
+    "save_trace",
+    "load_trace",
+    "Router",
+    "RoundRobinRouter",
+    "LeastKVLoadRouter",
+    "PrefixAffinityRouter",
+    "ROUTERS",
+    "available_routers",
+    "get_router",
+    "FleetResult",
+    "ServingCluster",
 ]

@@ -1,0 +1,390 @@
+"""Cluster layer: N serving replicas behind a pluggable router.
+
+:class:`ServingCluster` scales the single-replica
+:class:`repro.serve.ServingEngine` out to a fleet: requests are routed to
+one of ``n_replicas`` identical engines (same arch/recipe/GPU, each with
+its own paged KV cache), every replica runs its continuous-batching loop
+in virtual time, and the :class:`FleetResult` aggregates per-replica and
+fleet-level TTFT / TPOT / throughput / goodput-under-SLO.
+
+Routers are deterministic and pluggable (``ROUTERS`` registry):
+
+* ``"round-robin"`` — i-th request (in arrival order) to replica ``i % N``;
+* ``"least-kv-load"`` — to the replica with the fewest committed KV
+  tokens (prompt + output budget), ties broken by lowest replica index;
+* ``"prefix-affinity"`` — requests sharing a ``prefix_id`` stick to the
+  replica that first saw that prefix (so its KV pages are reused);
+  prefix-less requests fall back to least-KV-load.
+
+With one replica and no shared prefixes the cluster reproduces the
+single-engine result *exactly* — the reconciliation anchor that lets
+fleet numbers be trusted (asserted in ``benchmarks/test_serving_cluster``).
+
+>>> from repro.models.zoo import ARCHS
+>>> from .engine import Request
+>>> cluster = ServingCluster(ARCHS["llama-2-13b"], "mxfp4+", n_replicas=2,
+...                          kv_token_budget=8192)
+>>> reqs = [Request(f"r{i}", prompt_len=256, max_new_tokens=4) for i in range(4)]
+>>> fleet = cluster.run(reqs)
+>>> [fleet.assignments[f"r{i}"] for i in range(4)]
+[0, 1, 0, 1]
+>>> len(fleet.responses) == 4 and fleet.makespan_s > 0
+True
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..gpu.spec import GPUSpec, RTX5090
+from ..models.zoo import ArchSpec
+from .engine import Request, Response, ServingEngine, ServingResult
+from .kvcache import PagedKVCache
+from .recipe import QuantRecipe
+
+__all__ = [
+    "Router",
+    "RoundRobinRouter",
+    "LeastKVLoadRouter",
+    "PrefixAffinityRouter",
+    "ROUTERS",
+    "available_routers",
+    "get_router",
+    "FleetResult",
+    "ServingCluster",
+]
+
+
+class Router:
+    """Base class: assign each request (in arrival order) to a replica.
+
+    Routers see requests one at a time, sorted by arrival, and must be
+    deterministic — equal inputs yield equal assignments, and all
+    tie-breaks resolve to the lowest replica index.
+    """
+
+    name = "base"
+
+    def __init__(self, n_replicas: int) -> None:
+        if n_replicas < 1:
+            raise ValueError("n_replicas must be >= 1")
+        self.n_replicas = n_replicas
+        self.reset()
+
+    def reset(self) -> None:
+        """Return to the initial state; called before every cluster run
+        so router instances behave like freshly-built ones."""
+
+    def route(self, request: Request) -> int:  # pragma: no cover - interface
+        raise NotImplementedError
+
+
+class RoundRobinRouter(Router):
+    """Cycle through replicas in arrival order."""
+
+    name = "round-robin"
+
+    def reset(self) -> None:
+        self._next = 0
+
+    def route(self, request: Request) -> int:
+        replica = self._next
+        self._next = (self._next + 1) % self.n_replicas
+        return replica
+
+
+class LeastKVLoadRouter(Router):
+    """Send to the replica with the fewest committed KV tokens.
+
+    Load is the sum of ``prompt_len + max_new_tokens`` over assigned
+    requests — the KV tokens a request will eventually pin. Ties break
+    to the lowest replica index, so assignment is deterministic.
+    """
+
+    name = "least-kv-load"
+
+    def reset(self) -> None:
+        self.loads = [0] * self.n_replicas
+
+    def _least_loaded(self) -> int:
+        return min(range(self.n_replicas), key=lambda i: (self.loads[i], i))
+
+    def route(self, request: Request) -> int:
+        replica = self._least_loaded()
+        self.loads[replica] += request.prompt_len + request.max_new_tokens
+        return replica
+
+
+class PrefixAffinityRouter(LeastKVLoadRouter):
+    """Pin each shared prefix to one replica so its KV pages get reused.
+
+    The first request carrying a given ``prefix_id`` is placed on the
+    least-loaded replica; every later request with that prefix follows
+    it (a prefix scattered across replicas would be stored N times and
+    hit only 1/N of the time). Prefix-less requests use least-KV-load.
+    """
+
+    name = "prefix-affinity"
+
+    def reset(self) -> None:
+        super().reset()
+        self._homes: dict[str, int] = {}
+
+    def route(self, request: Request) -> int:
+        if request.prefix_id is None:
+            return super().route(request)
+        replica = self._homes.get(request.prefix_id)
+        if replica is None:
+            replica = self._homes[request.prefix_id] = self._least_loaded()
+        self.loads[replica] += request.prompt_len + request.max_new_tokens
+        return replica
+
+
+ROUTERS: dict[str, type[Router]] = {
+    cls.name: cls
+    for cls in (RoundRobinRouter, LeastKVLoadRouter, PrefixAffinityRouter)
+}
+
+
+def available_routers() -> list[str]:
+    """Sorted names of the registered routing policies.
+
+    >>> available_routers()
+    ['least-kv-load', 'prefix-affinity', 'round-robin']
+    """
+    return sorted(ROUTERS)
+
+
+def get_router(name_or_router, n_replicas: int) -> Router:
+    """Instantiate a router by name (or pass a :class:`Router` through)."""
+    if isinstance(name_or_router, Router):
+        return name_or_router
+    key = str(name_or_router).lower()
+    if key not in ROUTERS:
+        raise KeyError(
+            f"unknown router {name_or_router!r} "
+            f"(available: {', '.join(available_routers())})"
+        )
+    return ROUTERS[key](n_replicas)
+
+
+@dataclass
+class FleetResult:
+    """Fleet outcome: per-replica results + cluster-level accounting."""
+
+    responses: list[Response]  # input order, across all replicas
+    replica_results: list[ServingResult]
+    assignments: dict[str, int]  # request_id -> replica index
+    router: str = ""
+
+    @property
+    def n_replicas(self) -> int:
+        return len(self.replica_results)
+
+    @property
+    def makespan_s(self) -> float:
+        """Fleet makespan: the slowest replica's virtual finish time."""
+        return max((r.makespan_s for r in self.replica_results), default=0.0)
+
+    @property
+    def total_tokens(self) -> int:
+        return sum(r.output_len for r in self.responses)
+
+    @property
+    def throughput_tok_s(self) -> float:
+        """Fleet-level output tokens per second of virtual wall-clock."""
+        return self.total_tokens / self.makespan_s if self.makespan_s else 0.0
+
+    @property
+    def mean_ttft_s(self) -> float:
+        if not self.responses:
+            return 0.0
+        return float(np.mean([r.ttft_s for r in self.responses]))
+
+    @property
+    def mean_tpot_s(self) -> float:
+        if not self.responses:
+            return 0.0
+        return float(np.mean([r.tpot_s for r in self.responses]))
+
+    @property
+    def preemptions(self) -> int:
+        return sum(r.preemptions for r in self.replica_results)
+
+    @property
+    def peak_running(self) -> int:
+        """Max concurrently decoding requests summed across replicas."""
+        return sum(r.peak_running for r in self.replica_results)
+
+    def p99_ttft_s(self, q: float = 99.0) -> float:
+        if not self.responses:
+            return 0.0
+        return float(np.percentile([r.ttft_s for r in self.responses], q))
+
+    @staticmethod
+    def _meets_slo(
+        r: Response, ttft_slo_s: float | None, tpot_slo_s: float | None
+    ) -> bool:
+        return (ttft_slo_s is None or r.ttft_s <= ttft_slo_s) and (
+            tpot_slo_s is None or r.tpot_s <= tpot_slo_s
+        )
+
+    def slo_attainment(
+        self, ttft_slo_s: float | None = None, tpot_slo_s: float | None = None
+    ) -> float:
+        """Fraction of requests meeting every given SLO (1.0 if none set)."""
+        if not self.responses:
+            return 1.0
+        ok = sum(self._meets_slo(r, ttft_slo_s, tpot_slo_s) for r in self.responses)
+        return ok / len(self.responses)
+
+    def goodput_tok_s(
+        self, ttft_slo_s: float | None = None, tpot_slo_s: float | None = None
+    ) -> float:
+        """Throughput counting only tokens from SLO-meeting requests.
+
+        The serving metric the paper's efficiency story cashes out in: a
+        fleet that admits more requests but blows its latency targets
+        earns no goodput for them.
+        """
+        if not self.makespan_s:
+            return 0.0
+        good = sum(
+            r.output_len
+            for r in self.responses
+            if self._meets_slo(r, ttft_slo_s, tpot_slo_s)
+        )
+        return good / self.makespan_s
+
+    def summary(
+        self, ttft_slo_s: float | None = None, tpot_slo_s: float | None = None
+    ) -> dict:
+        """Fleet metrics plus per-replica summaries (JSON-friendly)."""
+        return {
+            "router": self.router,
+            "n_replicas": self.n_replicas,
+            "requests": len(self.responses),
+            "total_tokens": self.total_tokens,
+            "makespan_s": self.makespan_s,
+            "throughput_tok_s": self.throughput_tok_s,
+            "mean_ttft_s": self.mean_ttft_s,
+            "p99_ttft_s": self.p99_ttft_s(),
+            "mean_tpot_s": self.mean_tpot_s,
+            "preemptions": self.preemptions,
+            "peak_running": self.peak_running,
+            "slo_attainment": self.slo_attainment(ttft_slo_s, tpot_slo_s),
+            "goodput_tok_s": self.goodput_tok_s(ttft_slo_s, tpot_slo_s),
+            "replicas": [r.summary() for r in self.replica_results],
+        }
+
+
+class ServingCluster:
+    """N identical serving replicas behind one routing policy.
+
+    Parameters
+    ----------
+    arch, recipe, spec:
+        As for :class:`ServingEngine`; all replicas share them.
+    n_replicas:
+        Fleet size.
+    router:
+        Router name (see :func:`available_routers`) or instance.
+    kv_token_budget:
+        Per-replica flat KV budget (1-token pages) when no byte budget is
+        given — the exact single-engine semantics.
+    page_budget_bytes / block_tokens:
+        Alternative per-replica sizing: each replica gets
+        ``PagedKVCache.from_byte_budget(page_budget_bytes, arch, recipe,
+        block_tokens)``, so the recipe's KV format sets how many requests
+        fit — the MX+ capacity win.
+    max_batch, model:
+        Forwarded to every replica engine.
+    """
+
+    def __init__(
+        self,
+        arch: ArchSpec,
+        recipe,
+        n_replicas: int = 1,
+        router="round-robin",
+        spec: GPUSpec = RTX5090,
+        kv_token_budget: int = 262_144,
+        max_batch: int = 256,
+        page_budget_bytes: float | None = None,
+        block_tokens: int = 16,
+        model=None,
+    ) -> None:
+        if n_replicas < 1:
+            raise ValueError("n_replicas must be >= 1")
+        if isinstance(recipe, str):
+            recipe = QuantRecipe.from_name(recipe)
+        self.arch = arch
+        self.recipe = recipe
+        self.spec = spec
+        self.n_replicas = n_replicas
+        self._router_spec = router
+        self.engines = []
+        for _ in range(n_replicas):
+            if page_budget_bytes is not None:
+                cache = PagedKVCache.from_byte_budget(
+                    page_budget_bytes, arch, recipe, block_tokens=block_tokens
+                )
+            else:
+                cache = PagedKVCache.from_token_budget(kv_token_budget)
+            self.engines.append(
+                ServingEngine(
+                    arch, recipe, spec=spec, max_batch=max_batch,
+                    model=model, kv_cache=cache,
+                )
+            )
+
+    @property
+    def capacity_tokens_per_replica(self) -> int:
+        """KV tokens one replica can hold (page count x page size)."""
+        return self.engines[0].kv_cache.capacity_tokens
+
+    def run(self, requests: list[Request]) -> FleetResult:
+        """Route ``requests``, run every replica, aggregate the fleet.
+
+        Routing happens in arrival order (ties by input position); each
+        replica then serves its share with the usual continuous-batching
+        loop. Responses come back in input order.
+        """
+        router = get_router(self._router_spec, self.n_replicas)
+        if router.n_replicas != self.n_replicas:
+            raise ValueError(
+                f"router built for {router.n_replicas} replicas, "
+                f"cluster has {self.n_replicas}"
+            )
+        router.reset()  # instances passed in must behave like fresh ones
+        order = {r.request_id: i for i, r in enumerate(requests)}
+        if len(order) != len(requests):
+            raise ValueError("duplicate request_id in batch")
+        assignments: dict[str, int] = {}
+        for req in sorted(requests, key=lambda r: (r.arrival_s, order[r.request_id])):
+            replica = router.route(req)
+            if not 0 <= replica < self.n_replicas:
+                raise ValueError(
+                    f"router {router.name!r} returned invalid replica {replica}"
+                )
+            assignments[req.request_id] = replica
+        # Each replica sees its requests in original input order, exactly
+        # as a standalone engine would (reconciliation at n_replicas=1).
+        shards = [
+            [r for r in requests if assignments[r.request_id] == i]
+            for i in range(self.n_replicas)
+        ]
+        results = [
+            engine.run(shard) for engine, shard in zip(self.engines, shards)
+        ]
+        by_id = {
+            resp.request_id: resp for res in results for resp in res.responses
+        }
+        return FleetResult(
+            responses=[by_id[r.request_id] for r in requests],
+            replica_results=results,
+            assignments=assignments,
+            router=router.name,
+        )

@@ -8,16 +8,34 @@ token budget, and each request comes back as a :class:`Response` with
 per-request latency accounting (TTFT / TPOT / end-to-end).
 
 Scheduling follows the vLLM-style iteration loop: whenever waiting
-requests fit the token budget a *prefill step* runs for just those
-requests; otherwise one *decode step* advances every running request by
-one token. When decode growth overflows the budget, the most recently
-admitted request is preempted and re-enters the queue for recomputation.
+requests fit the KV cache a *prefill step* runs for just those requests;
+otherwise one *decode step* advances every running request by one token.
+When decode growth overflows the cache, the most recently admitted
+request is preempted and re-enters the queue for recomputation.
+
+KV memory goes through a :class:`repro.serve.kvcache.PagedKVCache`:
+block-granular allocation, byte-accurate page sizing per recipe, and
+shared-prefix caching (requests that declare ``prefix_id`` skip
+recomputing cached prefix tokens in prefill, which lowers their TTFT).
+The legacy flat ``kv_token_budget`` argument is now a shim that builds a
+1-token-per-page cache with identical admission/preemption semantics.
 
 Timing comes from :func:`repro.gpu.inference.step_time` in virtual time —
 a uniform batch reconciles exactly with ``simulate_inference`` totals.
 With ``model=`` set (a :class:`repro.nn.transformer.TransformerLM`) the
 engine also runs the real forward under the recipe's ``QuantContext`` and
 returns generated tokens, so accuracy and timing come from one API call.
+
+>>> from repro.models.zoo import ARCHS
+>>> engine = ServingEngine(ARCHS["llama-2-13b"], "mxfp4+", kv_token_budget=4096)
+>>> result = engine.run([Request("r0", prompt_len=512, max_new_tokens=4),
+...                      Request("r1", prompt_len=512, max_new_tokens=4)])
+>>> [r.output_len for r in result.responses]
+[4, 4]
+>>> result.peak_running
+2
+>>> 0.0 < result.responses[0].ttft_s < result.responses[0].e2e_latency_s
+True
 """
 
 from __future__ import annotations
@@ -30,6 +48,7 @@ import numpy as np
 from ..gpu.inference import StageTimes, as_serving_config, step_time
 from ..gpu.spec import GPUSpec, RTX5090
 from ..models.zoo import ArchSpec
+from .kvcache import PagedKVCache
 from .recipe import QuantRecipe
 
 __all__ = ["Request", "Response", "ServingResult", "ServingEngine"]
@@ -41,12 +60,24 @@ class Request:
 
     ``prompt_tokens`` is optional; when provided (numeric mode) it defines
     ``prompt_len``, and the engine generates real tokens with the model.
+
+    ``prefix_id``/``prefix_len`` declare that the first ``prefix_len``
+    prompt tokens are a shared prefix (e.g. a common system prompt):
+    requests with the same ``prefix_id`` store those tokens once in a
+    paged KV cache, and prefix *hits* skip recomputing them in prefill.
+
+    >>> Request("r0", prompt_len=512, max_new_tokens=64).prompt_len
+    512
+    >>> Request("r1", prompt_len=640, prefix_id="sys", prefix_len=512).prefix_id
+    'sys'
     """
 
     request_id: str
     prompt_len: int = 0
     max_new_tokens: int = 1
     arrival_s: float = 0.0
+    prefix_id: str | None = None
+    prefix_len: int = 0
     # excluded from eq/hash: ndarrays have no scalar truth value
     prompt_tokens: np.ndarray | None = field(default=None, compare=False)
 
@@ -61,6 +92,17 @@ class Request:
             raise ValueError(f"request {self.request_id!r}: max_new_tokens < 1")
         if self.arrival_s < 0:
             raise ValueError(f"request {self.request_id!r}: negative arrival")
+        if self.prefix_len < 0:
+            raise ValueError(f"request {self.request_id!r}: negative prefix_len")
+        if self.prefix_len > self.prompt_len:
+            raise ValueError(
+                f"request {self.request_id!r}: prefix_len {self.prefix_len} "
+                f"exceeds prompt_len {self.prompt_len}"
+            )
+        if self.prefix_len > 0 and self.prefix_id is None:
+            raise ValueError(
+                f"request {self.request_id!r}: prefix_len without prefix_id"
+            )
 
 
 @dataclass
@@ -103,6 +145,8 @@ class ServingResult:
     n_prefill_steps: int = 0
     n_decode_steps: int = 0
     preemptions: int = 0
+    peak_running: int = 0  # max concurrently decoding requests
+    kv: dict = field(default_factory=dict)  # PagedKVCache.stats() snapshot
 
     @property
     def total_tokens(self) -> int:
@@ -135,6 +179,7 @@ class ServingResult:
             "mean_ttft_s": self.mean_ttft_s,
             "mean_tpot_s": self.mean_tpot_s,
             "preemptions": self.preemptions,
+            "peak_running": self.peak_running,
         }
 
 
@@ -147,6 +192,7 @@ class _Active:
     generated: int = 0
     first_token_s: float = -1.0
     preemptions: int = 0
+    cached: int = 0  # prefix tokens reused from the KV cache this admission
     tokens: list = field(default_factory=list)  # numeric mode
 
     @property
@@ -173,14 +219,22 @@ class ServingEngine:
     spec:
         GPU spec for the roofline model (default RTX 5090-class).
     kv_token_budget:
-        Maximum tokens resident in the KV cache across running requests;
-        admission and preemption enforce it.
+        Legacy flat budget: when ``kv_cache`` is not given, the engine
+        builds ``PagedKVCache.from_token_budget(kv_token_budget)`` —
+        1-token pages, so admission/preemption behave exactly like the
+        original flat counter.
     max_batch:
         Maximum concurrently running requests.
     model:
         Optional :class:`~repro.nn.transformer.TransformerLM`. When set,
         requests carrying ``prompt_tokens`` are decoded for real (greedy)
         under ``recipe.to_context()`` and responses include ``tokens``.
+    kv_cache:
+        A :class:`~repro.serve.kvcache.PagedKVCache` to allocate KV
+        memory from (e.g. ``PagedKVCache.from_byte_budget(...)`` so page
+        count reflects the recipe's KV bytes/token). The cache's prefix
+        store persists across ``run`` calls — a warm system-prompt cache
+        carries over.
     """
 
     def __init__(
@@ -191,18 +245,22 @@ class ServingEngine:
         kv_token_budget: int = 262_144,
         max_batch: int = 256,
         model=None,
+        kv_cache: PagedKVCache | None = None,
     ) -> None:
         if isinstance(recipe, str):
             recipe = QuantRecipe.from_name(recipe)
-        if kv_token_budget < 1:
-            raise ValueError("kv_token_budget must be >= 1")
+        if kv_cache is None:
+            if kv_token_budget < 1:
+                raise ValueError("kv_token_budget must be >= 1")
+            kv_cache = PagedKVCache.from_token_budget(kv_token_budget)
         if max_batch < 1:
             raise ValueError("max_batch must be >= 1")
         self.arch = arch
         self.recipe = recipe
         self.spec = spec
         self.cfg = as_serving_config(recipe)
-        self.kv_token_budget = kv_token_budget
+        self.kv_cache = kv_cache
+        self.kv_token_budget = kv_cache.capacity_tokens
         self.max_batch = max_batch
         self.model = model
         self._qc = None
@@ -226,10 +284,10 @@ class ServingEngine:
         if len(order) != len(requests):
             raise ValueError("duplicate request_id in batch")
         largest = max(r.prompt_len + r.max_new_tokens for r in requests)
-        if largest > self.kv_token_budget:
+        if largest > self.kv_cache.capacity_tokens:
             raise ValueError(
-                f"kv_token_budget={self.kv_token_budget} cannot hold the "
-                f"largest request ({largest} tokens)"
+                f"kv_token_budget={self.kv_cache.capacity_tokens} cannot hold "
+                f"the largest request ({largest} tokens)"
             )
 
         waiting: deque[_Active] = deque(
@@ -241,48 +299,63 @@ class ServingEngine:
         clock = 0.0
         prefill_s = decode_s = 0.0
         n_prefill = n_decode = preemptions = 0
+        peak_running = 0
         admit_seq = 0
 
-        while waiting or running:
-            # Idle engine: jump to the next arrival.
-            if not running and waiting and waiting[0].request.arrival_s > clock:
-                clock = waiting[0].request.arrival_s
+        try:
+            while waiting or running:
+                # Idle engine: jump to the next arrival.
+                if not running and waiting and waiting[0].request.arrival_s > clock:
+                    clock = waiting[0].request.arrival_s
 
-            admitted = self._admit(waiting, running, clock)
-            if admitted:
-                for state in admitted:
-                    state.order = admit_seq
-                    admit_seq += 1
-                # Prefill step: all admitted prompts (requeued requests
-                # recompute their full context) processed together.
+                admitted = self._admit(waiting, running, clock)
+                if admitted:
+                    for state in admitted:
+                        state.order = admit_seq
+                        admit_seq += 1
+                    # Into `running` before timing, so an exception below
+                    # cannot strand their KV allocations (freed in the
+                    # finally block).
+                    running.extend(admitted)
+                    peak_running = max(peak_running, len(running))
+                    # Prefill step: all admitted prompts processed
+                    # together. Requeued requests recompute their full
+                    # context; prefix hits skip the cached tokens
+                    # (rows < ctx) but still attend over the full context.
+                    t = step_time(
+                        self.spec, self.arch, self.cfg,
+                        [(max(1, s.ctx - s.cached), s.ctx) for s in admitted],
+                    )
+                    clock += t
+                    prefill_s += t
+                    n_prefill += 1
+                    continue  # re-check admissions before the next decode
+
+                # Decode step: grow every running request by one token.
+                preemptions += self._preempt_overflow(waiting, running)
                 t = step_time(
                     self.spec, self.arch, self.cfg,
-                    [(s.ctx, s.ctx) for s in admitted],
+                    [(1, s.ctx) for s in running],
                 )
                 clock += t
-                prefill_s += t
-                n_prefill += 1
-                running.extend(admitted)
-                continue  # re-check admissions before the next decode
-
-            # Decode step: grow every running request by one token.
-            preemptions += self._preempt_overflow(waiting, running)
-            t = step_time(
-                self.spec, self.arch, self.cfg,
-                [(1, s.ctx) for s in running],
-            )
-            clock += t
-            decode_s += t
-            n_decode += 1
+                decode_s += t
+                n_decode += 1
+                for state in running:
+                    if self.model is not None and state.request.prompt_tokens is not None:
+                        state.tokens.append(self._next_token(state))
+                    self.kv_cache.append_token(state.request.request_id)
+                    state.generated += 1
+                    if state.first_token_s < 0:
+                        state.first_token_s = clock
+                for state in [s for s in running if s.done]:
+                    running.remove(state)
+                    self.kv_cache.free(state.request.request_id)
+                    finished[state.request.request_id] = self._response(state, clock)
+        finally:
+            # The cache persists across runs (warm prefixes); if this run
+            # died mid-flight its resident sequences must not leak pages.
             for state in running:
-                if self.model is not None and state.request.prompt_tokens is not None:
-                    state.tokens.append(self._next_token(state))
-                state.generated += 1
-                if state.first_token_s < 0:
-                    state.first_token_s = clock
-            for state in [s for s in running if s.done]:
-                running.remove(state)
-                finished[state.request.request_id] = self._response(state, clock)
+                self.kv_cache.free(state.request.request_id)
 
         responses = [finished[r.request_id] for r in requests]
         return ServingResult(
@@ -292,25 +365,40 @@ class ServingEngine:
             n_prefill_steps=n_prefill,
             n_decode_steps=n_decode,
             preemptions=preemptions,
+            peak_running=peak_running,
+            kv=self.kv_cache.stats(),
         )
 
     # ------------------------------------------------------------------
-    def _used_tokens(self, running: list[_Active]) -> int:
-        return sum(s.ctx for s in running)
-
     def _admit(
         self, waiting: deque[_Active], running: list[_Active], clock: float
     ) -> list[_Active]:
-        """Pop every waiting request that has arrived and fits the budget."""
+        """Pop every waiting request that has arrived and fits the cache.
+
+        Head-of-line semantics: admission stops at the first request the
+        paged allocator rejects, so late arrivals never starve the head.
+        """
         admitted: list[_Active] = []
-        used = self._used_tokens(running)
         while waiting and len(running) + len(admitted) < self.max_batch:
             nxt = waiting[0]
             if nxt.request.arrival_s > clock:
                 break
-            if used + nxt.ctx > self.kv_token_budget:
+            # Pure capacity probe first: _admit polls every scheduler
+            # iteration, and a blocked head must not inflate the
+            # allocator's failed_allocations counter each decode step.
+            if not self.kv_cache.can_allocate(
+                nxt.ctx, nxt.request.prefix_id, nxt.request.prefix_len
+            ):
                 break
-            used += nxt.ctx
+            cached = self.kv_cache.try_allocate(
+                nxt.request.request_id,
+                nxt.ctx,
+                prefix_id=nxt.request.prefix_id,
+                prefix_len=nxt.request.prefix_len,
+            )
+            if cached is None:  # pragma: no cover - can_allocate said yes
+                break
+            nxt.cached = cached
             admitted.append(waiting.popleft())
         return admitted
 
@@ -319,13 +407,17 @@ class ServingEngine:
     ) -> int:
         """Evict newest-admitted requests if the next decode would overflow."""
         evicted = 0
-        while (
-            len(running) > 1
-            and self._used_tokens(running) + len(running) > self.kv_token_budget
-        ):
+        while len(running) > 1:
+            needed = self.kv_cache.append_blocks_needed(
+                s.request.request_id for s in running
+            )
+            if self.kv_cache.ensure_free(needed):
+                break
             victim = max(running, key=lambda s: s.order)
             running.remove(victim)
+            self.kv_cache.free(victim.request.request_id)
             victim.preemptions += 1
+            victim.cached = 0
             waiting.appendleft(victim)  # recompute as soon as space frees up
             evicted += 1
         return evicted

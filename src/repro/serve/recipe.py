@@ -150,6 +150,15 @@ class QuantRecipe:
           formats imply hardware integration).
 
         Raises ``KeyError`` with near-miss suggestions for unknown names.
+
+        >>> QuantRecipe.from_name("a-mxfp4+").weight
+        'mxfp4'
+        >>> QuantRecipe.from_name("mxfp4+").integration
+        'hardware'
+        >>> QuantRecipe.from_name("a:mxfp8,w:mxfp4").act
+        'mxfp8'
+        >>> QuantRecipe.from_name("baseline") == QuantRecipe.from_name("bf16")
+        True
         """
         key = str(spec).strip().lower()
         if key == "baseline":
@@ -191,8 +200,31 @@ class QuantRecipe:
         return QuantRecipe(name=key, act=roles["a"], weight=roles["w"], kv=roles["kv"])
 
     def with_(self, **kwargs) -> "QuantRecipe":
-        """A modified copy (``dataclasses.replace`` with validation)."""
+        """A modified copy (``dataclasses.replace`` with validation).
+
+        >>> get_recipe("mxfp4").with_(kv="mxfp8").kv
+        'mxfp8'
+        """
         return replace(self, **kwargs)
+
+    @property
+    def kv_format(self) -> str:
+        """The resolved KV-cache storage format name.
+
+        ``kv="auto"`` follows the activation format (the paper's serving
+        protocol stores K/V in the activation's microscaling format);
+        otherwise the explicit override wins. Used by
+        :func:`repro.serve.kvcache.kv_token_bytes` to turn a recipe into
+        KV bytes/token, and hence page sizing.
+
+        >>> get_recipe("mxfp4+").kv_format
+        'mxfp4+'
+        >>> get_recipe("bf16").kv_format
+        'bf16'
+        >>> QuantRecipe.from_name("a:mxfp8,w:mxfp4,kv:mxfp4").kv_format
+        'mxfp4'
+        """
+        return self.kv if self.kv != AUTO else self.act
 
     # ------------------------------------------------------------------
     # adapters: the one recipe object feeds both repo paths

@@ -1,0 +1,78 @@
+"""Documentation checks: doctests over the public `repro.serve` API and
+a markdown link check over README + docs/.
+
+Runs in tier-1 and as the CI docs job, so examples in docstrings stay
+runnable and links stay unbroken.
+"""
+
+import doctest
+import re
+from pathlib import Path
+
+import pytest
+
+import repro.serve
+import repro.serve.cluster
+import repro.serve.engine
+import repro.serve.kvcache
+import repro.serve.recipe
+import repro.serve.workload
+
+REPO = Path(__file__).resolve().parents[1]
+
+DOCTEST_MODULES = [
+    repro.serve.recipe,
+    repro.serve.kvcache,
+    repro.serve.engine,
+    repro.serve.workload,
+    repro.serve.cluster,
+]
+
+
+@pytest.mark.parametrize("module", DOCTEST_MODULES, ids=lambda m: m.__name__)
+def test_serve_doctests(module):
+    results = doctest.testmod(module, verbose=False, report=True)
+    assert results.attempted > 0, f"{module.__name__} has no doctests"
+    assert results.failed == 0, f"{results.failed} doctest failure(s) in {module.__name__}"
+
+
+def _markdown_files():
+    files = [REPO / "README.md"]
+    files += sorted((REPO / "docs").glob("*.md"))
+    return files
+
+
+_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+
+@pytest.mark.parametrize("md", _markdown_files(), ids=lambda p: p.name)
+def test_markdown_links_resolve(md):
+    """Every relative markdown link must point at an existing file."""
+    broken = []
+    for target in _LINK.findall(md.read_text()):
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        path = target.split("#", 1)[0]
+        if not path:
+            continue  # intra-page anchor
+        if not (md.parent / path).exists():
+            broken.append(target)
+    assert not broken, f"broken links in {md.relative_to(REPO)}: {broken}"
+
+
+def test_experiments_md_exists_and_indexes_every_benchmark():
+    """docs/EXPERIMENTS.md is generated and must cover all benchmarks."""
+    text = (REPO / "docs" / "EXPERIMENTS.md").read_text()
+    for bench in sorted((REPO / "benchmarks").glob("test_*.py")):
+        assert f"benchmarks/{bench.name}" in text, (
+            f"{bench.name} missing from docs/EXPERIMENTS.md — add it to "
+            "BENCHMARK_INDEX and rerun benchmarks/make_experiments_md.py"
+        )
+
+
+def test_architecture_md_names_real_modules():
+    """The architecture walkthrough must not drift from the source tree."""
+    text = (REPO / "docs" / "ARCHITECTURE.md").read_text()
+    for mod in re.findall(r"`(?:core|gpu|nn|eval|serve|models|data)/\w+\.py`", text):
+        rel = mod.strip("`")
+        assert (REPO / "src" / "repro" / rel).exists(), f"ARCHITECTURE.md names missing module {rel}"

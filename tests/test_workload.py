@@ -1,0 +1,139 @@
+"""Tests for the workload layer: seeded generators, length distributions,
+arrival processes, and JSONL trace round-trips."""
+
+import numpy as np
+import pytest
+
+from repro.serve import (
+    LengthDist,
+    Request,
+    bursty_arrivals,
+    chat_workload,
+    load_trace,
+    make_workload,
+    poisson_arrivals,
+    save_trace,
+)
+
+
+class TestLengthDist:
+    def test_fixed(self):
+        assert LengthDist.fixed(512).sample(np.random.default_rng(0), 4).tolist() == [512] * 4
+
+    def test_uniform_bounds(self):
+        s = LengthDist.uniform(16, 64).sample(np.random.default_rng(0), 500)
+        assert s.min() >= 16 and s.max() <= 64
+
+    def test_lognormal_clipped_and_heavy_tailed(self):
+        d = LengthDist.lognormal(median=128, sigma=1.0, low=8, high=2048)
+        s = d.sample(np.random.default_rng(0), 2000)
+        assert s.min() >= 8 and s.max() <= 2048
+        assert np.mean(s) > np.median(s)  # right-skewed
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LengthDist.fixed(0)
+        with pytest.raises(ValueError):
+            LengthDist.uniform(8, 4)
+        with pytest.raises(ValueError):
+            LengthDist.lognormal(0.5, 1.0)
+
+
+class TestArrivals:
+    def test_poisson_monotone_and_rate(self):
+        rng = np.random.default_rng(0)
+        t = poisson_arrivals(5000, rate_rps=25.0, rng=rng)
+        assert np.all(np.diff(t) >= 0)
+        assert t[-1] == pytest.approx(5000 / 25.0, rel=0.1)
+
+    def test_bursty_clusters(self):
+        rng = np.random.default_rng(0)
+        t = bursty_arrivals(64, rate_rps=16.0, rng=rng, burst_size=8, jitter_s=1e-3)
+        assert np.all(np.diff(t) >= 0)
+        gaps = np.diff(t)
+        # 7 of every 8 gaps are jitter-scale; burst heads are far apart.
+        assert np.median(gaps) < 1e-3
+        assert gaps.max() > 0.05
+
+    def test_bursty_preserves_mean_rate(self):
+        rng = np.random.default_rng(1)
+        t = bursty_arrivals(4000, rate_rps=20.0, rng=rng, burst_size=10)
+        assert t[-1] == pytest.approx(4000 / 20.0, rel=0.15)
+
+    def test_validation(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            poisson_arrivals(4, rate_rps=0.0, rng=rng)
+        with pytest.raises(ValueError):
+            bursty_arrivals(4, rate_rps=1.0, rng=rng, burst_size=0)
+
+
+class TestGenerators:
+    def test_seed_determinism(self):
+        a = make_workload(32, seed=42, arrival="bursty", rate_rps=50.0)
+        b = make_workload(32, seed=42, arrival="bursty", rate_rps=50.0)
+        assert a == b
+        c = make_workload(32, seed=43, arrival="bursty", rate_rps=50.0)
+        assert a != c
+
+    def test_ids_unique_and_ordered(self):
+        reqs = make_workload(12, seed=0)
+        assert len({r.request_id for r in reqs}) == 12
+        assert all(x.arrival_s <= y.arrival_s for x, y in zip(reqs, reqs[1:]))
+
+    def test_unknown_arrival(self):
+        with pytest.raises(ValueError, match="arrival"):
+            make_workload(4, arrival="constant")
+
+    def test_chat_workload_shape(self):
+        reqs = chat_workload(40, n_prefixes=3, prefix_len=256, seed=7)
+        assert {r.prefix_id for r in reqs} <= {"sys-0", "sys-1", "sys-2"}
+        assert all(r.prefix_len == 256 for r in reqs)
+        assert all(r.prompt_len > 256 for r in reqs)
+        assert reqs == chat_workload(40, n_prefixes=3, prefix_len=256, seed=7)
+
+
+class TestTraceRoundTrip:
+    def test_round_trip_exact(self, tmp_path):
+        reqs = chat_workload(25, n_prefixes=2, prefix_len=128, seed=1)
+        path = tmp_path / "trace.jsonl"
+        save_trace(path, reqs)
+        assert load_trace(path) == reqs
+
+    def test_round_trip_preserves_floats(self, tmp_path):
+        reqs = make_workload(50, seed=9, rate_rps=3.0)
+        path = tmp_path / "trace.jsonl"
+        save_trace(path, reqs)
+        back = load_trace(path)
+        assert [r.arrival_s for r in back] == [r.arrival_s for r in reqs]
+
+    def test_numeric_payload_round_trip(self, tmp_path):
+        rng = np.random.default_rng(0)
+        reqs = [
+            Request("n0", prompt_tokens=rng.integers(0, 128, 9), max_new_tokens=3),
+            Request("n1", prompt_len=16, max_new_tokens=2),
+        ]
+        path = tmp_path / "trace.jsonl"
+        save_trace(path, reqs)
+        back = load_trace(path)
+        np.testing.assert_array_equal(back[0].prompt_tokens, reqs[0].prompt_tokens)
+        assert back[0].prompt_len == 9
+        assert back[1].prompt_tokens is None
+
+    def test_empty_trace(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        save_trace(path, [])
+        assert load_trace(path) == []
+
+    def test_unknown_field_rejected(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"request_id": "x", "prompt_len": 4, "surprise": 1}\n')
+        with pytest.raises(ValueError, match="unknown trace fields"):
+            load_trace(path)
+
+    def test_blank_lines_skipped(self, tmp_path):
+        reqs = make_workload(3, seed=0)
+        path = tmp_path / "trace.jsonl"
+        save_trace(path, reqs)
+        path.write_text(path.read_text() + "\n\n")
+        assert load_trace(path) == reqs
