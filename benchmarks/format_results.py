@@ -5,20 +5,30 @@ Intended for PR comments / CI job summaries::
     python benchmarks/format_results.py            # markdown to stdout
     python benchmarks/format_results.py --out results.md
     python benchmarks/format_results.py serving_engine fig13_speedup_accuracy
+    python benchmarks/format_results.py --pr-comment           # deltas vs HEAD
+    python benchmarks/format_results.py --pr-comment --baseline-ref origin/main
 
 A serving headline table (throughput, TTFT/TPOT, speedup) is emitted
 first when the corresponding artifacts exist; every other artifact is
 rendered generically, one section per JSON file.
+
+``--pr-comment`` instead renders the *change*: for every serving headline
+metric it joins the freshly regenerated artifacts in ``results/`` against
+the committed versions (``git show <ref>:...``) and tabulates per-recipe
+deltas — the table CI posts as a job summary so a PR's serving impact is
+readable without downloading artifacts.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import subprocess
 import sys
 from pathlib import Path
 
 RESULTS_DIR = Path(__file__).parent / "results"
+REPO_ROOT = Path(__file__).resolve().parent.parent
 
 #: artifacts surfaced in the headline serving summary, with the columns
 #: (json key -> table header) each contributes.
@@ -106,6 +116,92 @@ def render_serving_summary() -> str | None:
     return "## Serving summary\n\n" + _table(["recipe"] + columns, rows)
 
 
+def _load_committed(name: str, ref: str) -> dict | None:
+    """The committed version of an artifact at ``ref`` (None if absent)."""
+    proc = subprocess.run(
+        ["git", "-C", str(REPO_ROOT), "show", f"{ref}:benchmarks/results/{name}.json"],
+        capture_output=True,
+        text=True,
+    )
+    if proc.returncode != 0:
+        return None
+    try:
+        return json.loads(proc.stdout)
+    except json.JSONDecodeError:
+        return None
+
+
+def _delta_cell(current, committed) -> str:
+    """``current (Δ%)`` against the committed value, tolerating gaps."""
+    if not isinstance(current, (int, float)):
+        return _fmt(current)
+    if not isinstance(committed, (int, float)):
+        return f"{_fmt(current)} (new)"  # no committed baseline for this cell
+    if committed == 0:
+        # a real zero baseline is a baseline — surface the change, don't
+        # mislabel it as new
+        return _fmt(current) if current == 0 else f"{_fmt(current)} (was 0)"
+    pct = (current - committed) / abs(committed) * 100.0
+    flag = "" if abs(pct) < 0.005 else f" ({pct:+.2f}%)"
+    return f"{_fmt(current)}{flag}"
+
+
+def render_pr_comment(ref: str = "HEAD") -> str:
+    """Markdown summary of serving-metric deltas vs the committed results.
+
+    One table per serving artifact: rows are recipes, cells show the
+    regenerated value with its percentage delta against ``ref``. Artifacts
+    missing on either side are reported rather than silently skipped.
+    """
+    sections = [f"# Benchmark deltas vs `{ref}`"]
+    for artifact, wanted in SERVING_ARTIFACTS.items():
+        current = _load(artifact)
+        if not isinstance(current, dict):
+            sections.append(f"### `{artifact}`\n\n> no regenerated artifact — run "
+                            f"`pytest benchmarks/test_{artifact}.py` first.")
+            continue
+        committed = _load_committed(artifact, ref) or {}
+        headers = ["recipe"] + [f"{h} (Δ)" for h in wanted.values()]
+        rows = []
+        for config, row in current.items():
+            if not isinstance(row, dict):
+                continue
+            base_row = committed.get(config, {})
+            rows.append(
+                [str(config)]
+                + [
+                    _delta_cell(row.get(key), base_row.get(key))
+                    for key in wanted
+                ]
+            )
+        sections.append(f"### `{artifact}`\n\n" + _table(headers, rows))
+    tune = _load("tune_frontier")
+    if isinstance(tune, dict) and tune.get("winner"):
+        winner = tune["winner"]
+        base = tune.get("uniform", {}).get(tune.get("baseline", "mxfp4"), {})
+        committed_tune = _load_committed("tune_frontier", ref) or {}
+        committed_winner = committed_tune.get("winner") or {}
+        rows = [
+            [
+                "tuned winner",
+                str(winner.get("recipe", {}).get("name", "?")),
+                _delta_cell(winner.get("perplexity"), committed_winner.get("perplexity")),
+                _delta_cell(winner.get("tokens_per_s"), committed_winner.get("tokens_per_s")),
+            ],
+            [
+                f"uniform {tune.get('baseline', 'mxfp4')}",
+                str(base.get("recipe", {}).get("name", "?")),
+                _fmt(base.get("perplexity", "")),
+                _fmt(base.get("tokens_per_s", "")),
+            ],
+        ]
+        sections.append(
+            "### `tune_frontier`\n\n"
+            + _table(["point", "recipe", "perplexity (Δ)", "tokens/s (Δ)"], rows)
+        )
+    return "\n\n".join(sections) + "\n"
+
+
 def render(names: list[str] | None = None) -> str:
     if names:
         available = [n for n in names if (RESULTS_DIR / f"{n}.json").exists()]
@@ -126,8 +222,21 @@ def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("names", nargs="*", help="artifact names (default: all)")
     parser.add_argument("--out", type=Path, help="write markdown to this file")
+    parser.add_argument(
+        "--pr-comment",
+        action="store_true",
+        help="render serving-metric deltas vs committed results instead",
+    )
+    parser.add_argument(
+        "--baseline-ref",
+        default="HEAD",
+        help="git ref the committed baseline is read from (default: HEAD)",
+    )
     args = parser.parse_args(argv)
-    markdown = render(args.names or None)
+    if args.pr_comment:
+        markdown = render_pr_comment(args.baseline_ref)
+    else:
+        markdown = render(args.names or None)
     if args.out:
         args.out.write_text(markdown)
         print(f"wrote {args.out}")

@@ -52,6 +52,14 @@ BENCHMARK_INDEX: dict[str, tuple[str, str]] = {
     "test_serving_cluster.py": (
         "§7 serving", "paged-KV capacity, prefix caching, multi-replica cluster"
     ),
+    "test_tune_frontier.py": (
+        "beyond the paper",
+        "autotuned per-layer mixed-precision recipe Pareto frontier",
+    ),
+    "test_encode_speed.py": (
+        "infrastructure",
+        "batched MX+ encode vs per-block reference (>=2x)",
+    ),
 }
 
 
@@ -532,6 +540,52 @@ def main() -> None:
             "strictly more concurrent requests at equal page budget; prefix "
             "caching cuts mean TTFT ~2x on the chat workload; the 1-replica "
             "cluster reconciles exactly with the single engine.",
+        )
+
+    tf = load("tune_frontier")
+    if tf:
+        rows = []
+        for p in tf["frontier"]["points"]:
+            recipe = p["recipe"]
+            rows.append(
+                f"- `{recipe['name']}` ({p['origin']}): ppl {f(p['perplexity'])}, "
+                f"{f(p['tokens_per_s'], 0)} tok/s"
+            )
+        winner = tf.get("winner")
+        base = tf["uniform"].get(tf.get("baseline", "mxfp4"), {})
+        if winner and base:
+            rows.append(
+                f"- **winner vs uniform {tf['baseline']}**: ppl "
+                f"{f(winner['perplexity'])} < {f(base['perplexity'])}, "
+                f"{f(winner['tokens_per_s'], 0)} > {f(base['tokens_per_s'], 0)} tok/s"
+            )
+        section(
+            L,
+            "Beyond the paper — autotuned recipe Pareto frontier",
+            "NxFP (arXiv:2412.19821) and MXFP8 pre-training recipes "
+            "(arXiv:2506.08027) show searched per-tensor/per-layer format "
+            "assignments beat uniform casts; repro.tune searches the MX+ "
+            "design space per layer/role.",
+            rows,
+            "A searched mixed MX+/MXFP recipe Pareto-dominates uniform MXFP4 "
+            "(strictly lower perplexity, strictly higher simulated serving "
+            "tokens/s); the artifact reproduces byte-identically from seed 0.",
+        )
+
+    es = load("encode_speed")
+    if es:
+        section(
+            L,
+            "Infrastructure — batched MX+ encode speed",
+            "the tuner's sensitivity/search loop re-encodes every matmul "
+            "operand; the encode path must stay whole-tensor vectorized.",
+            [
+                f"- 4096x4096 MXFP4+ encode: batched {f(es['batched_s'])} s vs "
+                f"per-block reference {f(es['reference_s_extrapolated'])} s "
+                f"(extrapolated) -> {f(es['speedup'], 1)}x",
+            ],
+            "Asserted >=2x; the reference implementation doubles as the "
+            "property-test oracle for the batched encoder.",
         )
 
     for name, title in [

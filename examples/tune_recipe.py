@@ -1,0 +1,69 @@
+"""Autotune a mixed-precision serving recipe and serve the winner.
+
+The `repro.tune` loop end to end:
+ 1. profile per-layer/per-role quantization sensitivity on a real
+    (scaled-down) model — which layers can afford 4-bit, which cannot;
+ 2. search per-layer format assignments (greedy bit-descent + seeded
+    evolution) against a serving cost model built from the GPU step-time
+    and KV-footprint models;
+ 3. print the quality/cost Pareto frontier next to the uniform ladder;
+ 4. register the winning recipe and serve it through `ServingCluster`.
+
+Run:  python examples/tune_recipe.py   (about half a minute)
+"""
+
+from repro.models.zoo import ARCHS
+from repro.serve import ServingCluster, get_recipe, make_workload
+from repro.tune import CostModel, autotune
+
+GIB = 1 << 30
+arch = ARCHS["llama-2-13b"]
+
+# ----------------------------------------------------------------------
+# 1+2+3. Profile, search, and assemble the frontier (fixed seed).
+# ----------------------------------------------------------------------
+result = autotune(
+    model="test-tiny",
+    cost_model=CostModel(arch, page_budget_bytes=4 * GIB),
+    seed=0,
+    generations=4,
+    population=12,
+    register=True,  # frontier recipes land in the serving registry
+)
+
+report = result.report
+print(f"Sensitivity profile ({report.model}, baseline ppl {report.baseline_ppl:.2f})")
+print("most sensitive roles under mxfp4:")
+for role, delta in report.ranked_roles("mxfp4")[:3]:
+    print(f"  {role:>8s}: +{delta:6.2f} ppl when cast alone")
+
+print(f"\nPareto frontier ({result.measurements} measured candidates):")
+print(f"{'origin':>10s} {'ppl':>8s} {'tok/s':>8s}  recipe")
+for p in result.frontier:
+    print(f"{p.origin:>10s} {p.perplexity:8.2f} {p.tokens_per_s:8.0f}  {p.recipe.name}")
+
+base = result.uniform[result.baseline]
+winner = result.winner
+assert winner is not None
+print(f"""
+Winner: {winner.recipe.name}
+  vs uniform {result.baseline}: ppl {winner.perplexity:.2f} < {base.perplexity:.2f},
+  simulated serving {winner.tokens_per_s:.0f} > {base.tokens_per_s:.0f} tok/s —
+  a searched mixed-precision recipe Pareto-dominates the uniform cast.""")
+
+# ----------------------------------------------------------------------
+# 4. The winner is a first-class recipe: serve it on a cluster.
+# ----------------------------------------------------------------------
+recipe = get_recipe(winner.recipe.name)  # registered by autotune(register=True)
+reqs = make_workload(32, seed=7, arrival="bursty", rate_rps=200.0, burst_size=8)
+for name in (winner.recipe.name, result.baseline):
+    fleet = ServingCluster(
+        arch, get_recipe(name), n_replicas=2,
+        page_budget_bytes=2 * GIB, block_tokens=16,
+    ).run(reqs)
+    print(f"  cluster({name[:40]:>40s}): {fleet.throughput_tok_s:6.0f} tok/s, "
+          f"mean TTFT {fleet.mean_ttft_s * 1e3:6.1f} ms")
+
+print("""
+The tuned recipe rides the same paged-KV serving stack as every named
+recipe — tune -> register -> serve is one unbroken path.""")

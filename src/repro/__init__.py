@@ -28,6 +28,9 @@ Subpackages
     Unified serving API: :class:`~repro.serve.QuantRecipe` (the one
     configuration surface) and :class:`~repro.serve.ServingEngine`
     (request-level continuous batching with TTFT/TPOT accounting).
+``repro.tune``
+    Mixed-precision recipe autotuner: per-layer sensitivity profiling,
+    serving cost model, greedy + evolutionary search, Pareto frontier.
 """
 
 from .core import available_formats, get_format

@@ -18,7 +18,17 @@ from .blocks import BlockFormat, from_blocks, to_blocks
 from .elem import E2M1, E2M3, E3M2, E4M3, E5M2, INT8_MX, FloatCodec, IntCodec, floor_log2
 from .scale import E8M0_MAX, E8M0_MIN
 
-__all__ = ["MXEncoded", "MXFormat", "MXFP4", "MXFP6", "MXFP6_E3M2", "MXFP8", "MXFP8_E5M2", "MXINT8"]
+__all__ = [
+    "MXEncoded",
+    "MXFormat",
+    "MXFP4",
+    "MXFP4K64",
+    "MXFP6",
+    "MXFP6_E3M2",
+    "MXFP8",
+    "MXFP8_E5M2",
+    "MXINT8",
+]
 
 
 @dataclass
@@ -73,6 +83,13 @@ class MXFormat(BlockFormat):
 def MXFP4() -> MXFormat:
     """MXFP4: E2M1 elements, block 32, E8M0 scale (avg 4.25 bits/elem)."""
     return MXFormat(E2M1, name="mxfp4")
+
+
+def MXFP4K64() -> MXFormat:
+    """MXFP4 over 64-element blocks: halves the shared-scale sideband to
+    4.125 avg bits/elem at a quality cost — the cheapest point on the
+    tuner's format ladder (and a lean KV-cache storage format)."""
+    return MXFormat(E2M1, block_size=64, name="mxfp4-k64")
 
 
 def MXFP6() -> MXFormat:

@@ -36,6 +36,7 @@ __all__ = [
     "MXFP4Plus",
     "MXFP6Plus",
     "MXFP8Plus",
+    "MXFP4PlusK64",
     "decompose_bm",
 ]
 
@@ -69,6 +70,9 @@ class MXPlusFormat(BlockFormat):
         self.elem = elem
         self.block_size = block_size
         self.name = name or f"mx-{elem.name}+"
+        # element bits + shared scale byte + BM-index byte per block;
+        # precomputed once — the tuner's cost model calls this per candidate.
+        self._bits_per_element = elem.bits + 16.0 / block_size
 
     # number of stored mantissa bits for the BM element (exponent field
     # repurposed): e.g. 3 for MXFP4+ (E0M3), 5 for MXFP6+, 7 for MXFP8+.
@@ -78,12 +82,19 @@ class MXPlusFormat(BlockFormat):
 
     # ------------------------------------------------------------------
     def encode(self, x: np.ndarray, axis: int = -1) -> MXPlusEncoded:
+        """Batched MX+ encode: every step is one whole-tensor numpy op.
+
+        :meth:`encode_reference` is the per-block specification this is
+        vectorized from; ``tests/test_properties_core.py`` asserts both
+        produce identical fields and ``benchmarks/test_encode_speed.py``
+        asserts the speedup.
+        """
         blocked = to_blocks(x, self.block_size, axis)
         data = blocked.data
         absd = np.abs(data)
 
         bm_index = np.argmax(absd, axis=-1).astype(np.int32)  # first max wins
-        amax = np.take_along_axis(absd, bm_index[..., None].astype(np.int64), axis=-1)[..., 0]
+        amax = np.max(absd, axis=-1)  # == |data|[bm_index], without a gather
         e_bm = floor_log2(amax)
 
         flush = e_bm <= (-127 + self.elem.emax)  # includes all-zero blocks
@@ -91,26 +102,65 @@ class MXPlusFormat(BlockFormat):
         shared_exp = np.where(flush, ZERO_BLOCK_SENTINEL, shared_exp)
 
         safe_exp = np.where(flush, 0, shared_exp).astype(np.float64)
-        scale = np.exp2(safe_exp)[..., None]
+        inv_scale = np.exp2(-safe_exp)[..., None]
 
         # NBM elements: standard MX quantization against the shared scale.
-        elem_values = self.elem.quantize(data / scale)
+        elem_values = self.elem.quantize(data * inv_scale)
 
         # BM element: extended mantissa anchored at 2**e_max (Eq. 2).
-        bm_signed = np.take_along_axis(data, bm_index[..., None].astype(np.int64), axis=-1)[..., 0]
-        bm_scaled = self._quantize_bm(bm_signed / np.exp2(safe_exp))
-        np.put_along_axis(
-            elem_values, bm_index[..., None].astype(np.int64), bm_scaled[..., None], axis=-1
-        )
+        idx = bm_index[..., None].astype(np.int64)
+        bm_signed = np.take_along_axis(data, idx, axis=-1)[..., 0]
+        bm_scaled = self._quantize_bm(bm_signed * inv_scale[..., 0])
+        np.put_along_axis(elem_values, idx, bm_scaled[..., None], axis=-1)
 
-        zero = np.zeros_like(elem_values)
-        elem_values = np.where(flush[..., None], zero, elem_values)
+        elem_values[flush] = 0.0
 
         return MXPlusEncoded(
             shared_exp=shared_exp,
             elem_values=elem_values,
             bm_index=bm_index,
             reserved=np.zeros_like(bm_index),
+            nbm_shared_exp=shared_exp,
+            blocked=blocked,
+        )
+
+    def encode_reference(self, x: np.ndarray, axis: int = -1) -> MXPlusEncoded:
+        """Per-block Python-loop encoder: the readable MX+ specification.
+
+        One block at a time, exactly the rules of Section 4.1: pick the BM,
+        derive the shared scale, flush, quantize NBMs, requantize the BM on
+        the extended grid. Kept as the oracle the batched :meth:`encode` is
+        tested against, and as the baseline its speedup is measured from.
+        """
+        blocked = to_blocks(x, self.block_size, axis)
+        data = blocked.data
+        flat = data.reshape(-1, self.block_size)
+        n_blocks = flat.shape[0]
+        shared_exp = np.empty(n_blocks, dtype=np.int32)
+        bm_index = np.empty(n_blocks, dtype=np.int32)
+        elem_values = np.zeros_like(flat)
+        for i in range(n_blocks):
+            block = flat[i]
+            absb = np.abs(block)
+            j = int(np.argmax(absb))  # first max wins, as in the batched path
+            bm_index[i] = j
+            e_bm = int(floor_log2(absb[j]))
+            if e_bm <= (-127 + self.elem.emax):  # flush-to-zero block
+                shared_exp[i] = ZERO_BLOCK_SENTINEL
+                continue
+            se = int(np.clip(e_bm - self.elem.emax, E8M0_MIN, E8M0_MAX))
+            shared_exp[i] = se
+            scaled = block / 2.0**se
+            vals = self.elem.quantize(scaled)
+            vals[j] = self._quantize_bm(np.asarray(scaled[j]))
+            elem_values[i] = vals
+        lead = data.shape[:-1]
+        shared_exp = shared_exp.reshape(lead)
+        return MXPlusEncoded(
+            shared_exp=shared_exp,
+            elem_values=elem_values.reshape(data.shape),
+            bm_index=bm_index.reshape(lead),
+            reserved=np.zeros(lead, dtype=np.int32),
             nbm_shared_exp=shared_exp,
             blocked=blocked,
         )
@@ -133,23 +183,27 @@ class MXPlusFormat(BlockFormat):
     def decode(self, enc: MXPlusEncoded) -> np.ndarray:
         flush = enc.shared_exp == ZERO_BLOCK_SENTINEL
         safe_exp = np.where(flush, 0, enc.shared_exp).astype(np.float64)
-        nbm_exp = np.where(flush, 0, enc.nbm_shared_exp).astype(np.float64)
 
-        k = enc.elem_values.shape[-1]
-        is_bm = (
-            np.arange(k, dtype=np.int32) == enc.bm_index[..., None]
-        )
-        scale = np.where(is_bm, np.exp2(safe_exp)[..., None], np.exp2(nbm_exp)[..., None])
-        out = enc.elem_values * scale
-        out = np.where(flush[..., None], 0.0, out)
+        if enc.nbm_shared_exp is enc.shared_exp:
+            # MX+: one scale for the whole block — skip the per-element
+            # BM/NBM scale select (MX++ decouples them via the delta bits).
+            out = enc.elem_values * np.exp2(safe_exp)[..., None]
+        else:
+            nbm_exp = np.where(flush, 0, enc.nbm_shared_exp).astype(np.float64)
+            k = enc.elem_values.shape[-1]
+            is_bm = (
+                np.arange(k, dtype=np.int32) == enc.bm_index[..., None]
+            )
+            scale = np.where(is_bm, np.exp2(safe_exp)[..., None], np.exp2(nbm_exp)[..., None])
+            out = enc.elem_values * scale
+        out[flush] = 0.0
         return from_blocks(enc.blocked, out)
 
     def quantize_dequantize(self, x: np.ndarray, axis: int = -1) -> np.ndarray:
         return self.decode(self.encode(x, axis))
 
     def bits_per_element(self) -> float:
-        # element bits + shared scale byte + BM-index byte per block
-        return self.elem.bits + 16.0 / self.block_size
+        return self._bits_per_element
 
 
 def decompose_bm(
@@ -202,3 +256,10 @@ def MXFP6Plus() -> MXPlusFormat:
 def MXFP8Plus() -> MXPlusFormat:
     """MXFP8+: E4M3 NBMs, E0M7 BM (effective E4M7)."""
     return MXPlusFormat(E4M3, name="mxfp8+")
+
+
+def MXFP4PlusK64() -> MXPlusFormat:
+    """MXFP4+ over 64-element blocks: the sideband (scale + BM index)
+    amortizes to 4.25 avg bits — plain MXFP4's width — trading scale
+    granularity for BM precision. A design point for the recipe tuner."""
+    return MXPlusFormat(E2M1, block_size=64, name="mxfp4+-k64")

@@ -12,15 +12,30 @@ from typing import Callable
 from .blocks import BlockFormat
 from .intquant import IntQuantizer
 from .msfp import MSFP12, MSFP14, MSFP16
-from .mx import MXFP4, MXFP6, MXFP6_E3M2, MXFP8, MXFP8_E5M2, MXINT8
+from .mx import MXFP4, MXFP4K64, MXFP6, MXFP6_E3M2, MXFP8, MXFP8_E5M2, MXINT8
 from .mxint_plus import MXINT4, MXINT4Plus, MXINT8PlusFormat
-from .mxplus import MXFP4Plus, MXFP6Plus, MXFP8Plus
+from .mxplus import MXFP4Plus, MXFP4PlusK64, MXFP6Plus, MXFP8Plus
 from .mxpp import MXFP4PlusPlus, MXFP6PlusPlus, MXFP8PlusPlus
 from .nvfp4 import NVFP4, NVFP4Plus
 from .smx import SMX4, SMX6, SMX9
 from .topk import TopKPromoteFormat
 
-__all__ = ["get_format", "available_formats", "register_format", "suggest_near_misses"]
+__all__ = [
+    "get_format",
+    "available_formats",
+    "register_format",
+    "registry_version",
+    "suggest_near_misses",
+]
+
+#: bumped on every (re)registration so downstream memo caches (storage
+#: bits, KV bits) can key on it instead of going stale.
+_REGISTRY_VERSION = 0
+
+
+def registry_version() -> int:
+    """Monotone counter incremented by :func:`register_format`."""
+    return _REGISTRY_VERSION
 
 
 def suggest_near_misses(name: str, candidates: list[str]) -> str:
@@ -31,6 +46,7 @@ def suggest_near_misses(name: str, candidates: list[str]) -> str:
 _REGISTRY: dict[str, Callable[[], BlockFormat]] = {
     # OCP MX (Table 1)
     "mxfp4": MXFP4,
+    "mxfp4-k64": MXFP4K64,
     "mxfp6": MXFP6,
     "mxfp6-e3m2": MXFP6_E3M2,
     "mxfp8": MXFP8,
@@ -38,6 +54,7 @@ _REGISTRY: dict[str, Callable[[], BlockFormat]] = {
     "mxint8": MXINT8,
     # MX+ / MX++ (Sections 4.1-4.3)
     "mxfp4+": MXFP4Plus,
+    "mxfp4+-k64": MXFP4PlusK64,
     "mxfp6+": MXFP6Plus,
     "mxfp8+": MXFP8Plus,
     "mxfp4++": MXFP4PlusPlus,
@@ -81,6 +98,8 @@ def register_format(
             f"format {name!r} is already registered; "
             "pass overwrite=True to replace it"
         )
+    global _REGISTRY_VERSION
+    _REGISTRY_VERSION += 1
     _REGISTRY[key] = factory
 
 

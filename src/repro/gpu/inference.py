@@ -39,6 +39,7 @@ __all__ = [
     "CONFIGS",
     "StageTimes",
     "as_serving_config",
+    "spread_layer_overrides",
     "step_time",
     "simulate_inference",
     "end_to_end_speedup",
@@ -62,6 +63,14 @@ class ServingConfig:
     mxplus_software: bool = False  # Algorithm 1 extra sparse MMA on A
     mxplus_hardware: bool = False  # Section 6 Tensor-Core integration
     min_tile_m: int = 1  # kernel tile granularity on M (A8W4: 128)
+    # -- mixed-precision threading (QuantRecipe.to_serving_config) --------
+    kv_fmt: str = ""  # KV-cache stream format; "" follows act_fmt
+    lm_head_fmt: str = ""  # LM-head weight format; "" follows weight_fmt
+    # ((layer, fmt), ...): per-layer act+weight replacement, see
+    # QuantRecipe.layer_overrides; n_layer_groups declares the layer space
+    # (0 = physical arch layers, G > 0 = G equal groups spread over them).
+    layer_overrides: tuple = ()
+    n_layer_groups: int = 0
 
 
 #: The Figure 11/13 configuration names kept for the legacy ``CONFIGS`` view.
@@ -132,6 +141,28 @@ class StageTimes:
     @property
     def total_s(self) -> float:
         return self.prefill_s + self.decode_s
+
+
+def spread_layer_overrides(
+    overrides: tuple, n_layer_groups: int, n_layers: int
+) -> dict[int, str]:
+    """Project ``((layer, fmt), ...)`` onto ``n_layers`` physical layers.
+
+    Group-indexed overrides (``n_layer_groups == G > 0``) cover equal
+    bands ``[g*n/G, (g+1)*n/G)`` — the convention that lets a recipe tuned
+    on a G-block stand-in model drive a full-size architecture. The single
+    source of the band rule: ``QuantRecipe.spread_overrides`` delegates
+    here, and ``step_time`` uses it for per-layer pricing.
+    """
+    if not n_layer_groups or n_layer_groups == n_layers:
+        return {layer: fmt for layer, fmt in overrides if layer < n_layers}
+    spread: dict[int, str] = {}
+    for group, fmt in overrides:
+        lo = group * n_layers // n_layer_groups
+        hi = (group + 1) * n_layers // n_layer_groups
+        for layer in range(lo, hi):
+            spread[layer] = fmt
+    return spread
 
 
 def _merge_groups(row_groups: Iterable[tuple[int, int]]) -> list[tuple[int, int]]:
@@ -217,20 +248,10 @@ def step_time(
         return cached
     _step_cache_misses += 1
 
-    def _time(shape: GemmShape, b_fmt: str) -> float:
-        return gemm_time(
-            spec,
-            shape,
-            a_fmt=cfg.act_fmt,
-            b_fmt=b_fmt,
-            mxplus_software=cfg.mxplus_software,
-            mxplus_hardware=cfg.mxplus_hardware,
-            min_tile_m=cfg.min_tile_m,
-        )
-
+    kv_fmt = cfg.kv_fmt or cfg.act_fmt
+    head_fmt = cfg.lm_head_fmt or cfg.weight_fmt
     kv_dim = arch.n_kv_heads * arch.head_dim
-    layer = 0.0
-    for shape in (
+    proj_shapes = (
         GemmShape(m, arch.dim, arch.dim),  # Q proj
         GemmShape(m, kv_dim, arch.dim),  # K proj
         GemmShape(m, kv_dim, arch.dim),  # V proj
@@ -238,15 +259,68 @@ def step_time(
         GemmShape(m, arch.hidden, arch.dim),  # gate
         GemmShape(m, arch.hidden, arch.dim),  # up
         GemmShape(m, arch.dim, arch.hidden),  # down
-    ):
-        layer += _time(shape, cfg.weight_fmt)
-    # attention: scores (rows x ctx x head_dim) and values; the K/V
-    # operands stream from the KV cache in the activation format.
-    for rows, ctx in groups:
-        layer += _time(GemmShape(rows, ctx, arch.dim), cfg.act_fmt)
-        layer += _time(GemmShape(rows, arch.dim, ctx), cfg.act_fmt)
-    total = layer * arch.n_layers
-    total += _time(GemmShape(m, arch.vocab, arch.dim), cfg.weight_fmt)  # LM head
+    )
+
+    def _layer_time(act_fmt: str, weight_fmt: str, software: bool, hardware: bool) -> float:
+        def _time(shape: GemmShape, b_fmt: str) -> float:
+            return gemm_time(
+                spec,
+                shape,
+                a_fmt=act_fmt,
+                b_fmt=b_fmt,
+                mxplus_software=software,
+                mxplus_hardware=hardware,
+                min_tile_m=cfg.min_tile_m,
+            )
+
+        layer = sum(_time(shape, weight_fmt) for shape in proj_shapes)
+        # attention: scores (rows x ctx x head_dim) and values; the K/V
+        # operands stream from the KV cache in the recipe's KV format
+        # (which follows the activation format unless pinned).
+        for rows, ctx in groups:
+            layer += _time(GemmShape(rows, ctx, arch.dim), kv_fmt)
+            layer += _time(GemmShape(rows, arch.dim, ctx), kv_fmt)
+        return layer
+
+    if cfg.layer_overrides:
+        # Mixed-precision recipe: the MX+ integration overheads apply only
+        # where an MX+ format is actually in play, so flags are re-derived
+        # from the formats everywhere — base layers, overrides, LM head.
+        base_software = cfg.mxplus_software and "+" in cfg.act_fmt
+        base_hardware = cfg.mxplus_hardware and "+" in cfg.act_fmt + cfg.weight_fmt
+        head_software = cfg.mxplus_software and "+" in cfg.act_fmt
+        head_hardware = cfg.mxplus_hardware and "+" in cfg.act_fmt + head_fmt
+    else:
+        # Uniform recipes keep the caller's flags verbatim (the calibrated
+        # Figure 11-13 behavior, byte-identical to the committed artifacts).
+        base_software = head_software = cfg.mxplus_software
+        base_hardware = head_hardware = cfg.mxplus_hardware
+
+    base_layer = _layer_time(cfg.act_fmt, cfg.weight_fmt, base_software, base_hardware)
+    total = base_layer * arch.n_layers
+    if cfg.layer_overrides:
+        spread = spread_layer_overrides(
+            cfg.layer_overrides, cfg.n_layer_groups, arch.n_layers
+        )
+        memo: dict[str, float] = {}
+        for fmt in spread.values():
+            if fmt not in memo:
+                memo[fmt] = _layer_time(
+                    fmt,
+                    fmt,
+                    cfg.mxplus_software and "+" in fmt,
+                    cfg.mxplus_hardware and "+" in fmt,
+                )
+            total += memo[fmt] - base_layer
+    total += gemm_time(  # LM head, once per forward
+        spec,
+        GemmShape(m, arch.vocab, arch.dim),
+        a_fmt=cfg.act_fmt,
+        b_fmt=head_fmt,
+        mxplus_software=head_software,
+        mxplus_hardware=head_hardware,
+        min_tile_m=cfg.min_tile_m,
+    )
     if len(_STEP_CACHE) >= _STEP_CACHE_MAX:
         _STEP_CACHE.clear()
     _STEP_CACHE[key] = total

@@ -23,6 +23,8 @@ FORMAT_BITS: dict[str, float] = {
     "mxfp4": 4.25,
     "mxfp4+": 4.5,
     "mxfp4++": 4.5,
+    "mxfp4-k64": 4.125,  # 64-element blocks halve the scale sideband
+    "mxfp4+-k64": 4.25,  # scale + BM-index bytes amortized over 64 elems
     "fp32": 32.0,
 }
 
@@ -42,6 +44,8 @@ class GPUSpec:
             "mxfp4": 1.0,
             "mxfp4+": 1.0,
             "mxfp4++": 1.0,
+            "mxfp4-k64": 1.0,
+            "mxfp4+-k64": 1.0,
             "mxfp6": 0.5,
             "mxfp6+": 0.5,
             "mxfp8": 0.5,

@@ -46,6 +46,15 @@ class QuantContext:
     # Optional channel permutations for the query/key projections keyed by
     # layer index (Section 8.3 reordering); applied inside attention.
     qk_permutations: dict = field(default_factory=dict)
+    # Per-layer contexts for mixed-precision recipes: transformer block i
+    # runs under ``layer_overrides[i]`` when present (see ``layer_context``).
+    # Built by ``QuantRecipe.to_context()`` from the recipe's
+    # ``layer_overrides`` map; plain uniform contexts leave this empty.
+    layer_overrides: dict = field(default_factory=dict)
+    # Layer space the override keys index: 0 = physical block indices; a
+    # positive G means G equal groups spread over the model's blocks, the
+    # same convention the timing path uses (QuantRecipe.n_layer_groups).
+    n_layer_groups: int = 0
 
     # ------------------------------------------------------------------
     @staticmethod
@@ -65,6 +74,28 @@ class QuantContext:
 
     def with_(self, **kwargs) -> "QuantContext":
         return replace(self, **kwargs)
+
+    def layer_context(self, layer_index: int, n_layers: int = 0) -> "QuantContext":
+        """The context transformer block ``layer_index`` should run under.
+
+        Mixed-precision recipes assign some layers their own format; this
+        returns the per-layer derived context when one exists and ``self``
+        otherwise, so uniform recipes pay nothing. With group-indexed
+        overrides (``n_layer_groups == G``) and the model's ``n_layers``
+        supplied, physical block ``i`` resolves to group ``i*G // n``
+        — the exact inverse of the timing path's band spreading, so one
+        recipe means the same thing on the stand-in and the full model.
+        The LM head is *not* a layer — it follows :meth:`head_context`
+        on the base context.
+        """
+        if (
+            self.layer_overrides
+            and self.n_layer_groups
+            and n_layers
+            and self.n_layer_groups != n_layers
+        ):
+            layer_index = layer_index * self.n_layer_groups // n_layers
+        return self.layer_overrides.get(layer_index, self)
 
     # ------------------------------------------------------------------
     def _base(self, x: np.ndarray) -> np.ndarray:

@@ -87,7 +87,11 @@ class TransformerLM(Module):
         x = self.embed(tokens)
         x = x + self._positional(tokens.shape[1])
         for i, block in enumerate(self.blocks):
-            x = block(x, qc, layer_index=i)
+            # Mixed-precision recipes override individual layers' formats.
+            block_qc = (
+                qc if qc is None else qc.layer_context(i, len(self.blocks))
+            )
+            x = block(x, block_qc, layer_index=i)
         x = self.final_norm(x)
         if self.lm_head is not None:
             head_qc = qc if qc is None else qc.head_context()

@@ -41,6 +41,7 @@ from its ``kv_token_budget`` argument when no cache is passed.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 
 from ..gpu.spec import FORMAT_BITS
 from ..models.zoo import ArchSpec
@@ -53,7 +54,8 @@ def format_kv_bits(fmt: str) -> float:
 
     Prefers the calibrated :data:`repro.gpu.spec.FORMAT_BITS` sideband
     accounting; formats absent from that table (MXINT, NVFP4, ...) fall
-    back to their encoder's ``bits_per_element()``.
+    back to their encoder's ``bits_per_element()``, memoized against the
+    registry version so re-registered formats are re-read.
 
     >>> format_kv_bits("bf16"), format_kv_bits("mxfp4"), format_kv_bits("mxfp4+")
     (16.0, 4.25, 4.5)
@@ -61,6 +63,13 @@ def format_kv_bits(fmt: str) -> float:
     key = fmt.lower()
     if key in FORMAT_BITS:
         return FORMAT_BITS[key]
+    from ..core.registry import registry_version
+
+    return _registry_kv_bits(key, registry_version())
+
+
+@lru_cache(maxsize=None)
+def _registry_kv_bits(key: str, version: int) -> float:
     from ..core.registry import get_format
 
     return float(get_format(key).bits_per_element())

@@ -70,6 +70,19 @@ class QuantRecipe:
 
     ``scope="linear-only"`` restricts quantization to weight-activation
     matmuls (the Table 7 scheme-comparison protocol).
+
+    ``layer_overrides`` makes the recipe *mixed-precision per layer*: a
+    mapping from transformer-block index to a format name (or ``"bf16"``)
+    that replaces both the act and weight formats for that block. It is
+    normalized to a sorted tuple of ``(layer, fmt)`` pairs so the recipe
+    stays frozen/hashable. ``n_layer_groups`` declares the layer space the
+    indices live in: 0 means "physical layer indices of the serving
+    architecture"; a positive value ``G`` means the indices address ``G``
+    equal *groups* of layers — the timing model spreads group ``g`` over
+    arch layers ``[g*n/G, (g+1)*n/G)``. The recipe autotuner
+    (:mod:`repro.tune`) searches on a scaled-down model with ``G`` blocks
+    and serves the result on the full-size architecture through exactly
+    this projection.
     """
 
     name: str
@@ -82,6 +95,8 @@ class QuantRecipe:
     scope: str = "full"
     bf16_base: bool = True
     min_tile_m: int = 1  # kernel tile granularity on M (A8W4: 128)
+    layer_overrides: tuple = ()  # ((layer, fmt), ...) or a dict at init
+    n_layer_groups: int = 0  # layer space of the override indices (0=physical)
 
     # ------------------------------------------------------------------
     def __post_init__(self) -> None:
@@ -93,6 +108,39 @@ class QuantRecipe:
                 raise KeyError(
                     f"recipe {self.name!r}: unknown {role} format {value!r}"
                     f"{suggest_near_misses(value, available_formats())}"
+                )
+        overrides = self.layer_overrides
+        if isinstance(overrides, dict):
+            overrides = overrides.items()
+        normalized = []
+        for layer, fmt in overrides:
+            layer = int(layer)
+            if layer < 0:
+                raise ValueError(
+                    f"recipe {self.name!r}: negative layer index {layer}"
+                )
+            if fmt != BF16 and not _is_format(fmt):
+                raise KeyError(
+                    f"recipe {self.name!r}: unknown layer {layer} format "
+                    f"{fmt!r}{suggest_near_misses(fmt, available_formats())}"
+                )
+            normalized.append((layer, str(fmt)))
+        normalized.sort()
+        if len({layer for layer, _ in normalized}) != len(normalized):
+            raise ValueError(
+                f"recipe {self.name!r}: duplicate layer in layer_overrides"
+            )
+        object.__setattr__(self, "layer_overrides", tuple(normalized))
+        if self.n_layer_groups < 0:
+            raise ValueError(
+                f"recipe {self.name!r}: n_layer_groups must be >= 0"
+            )
+        if self.n_layer_groups and normalized:
+            top = normalized[-1][0]
+            if top >= self.n_layer_groups:
+                raise ValueError(
+                    f"recipe {self.name!r}: layer override index {top} is "
+                    f"outside the declared {self.n_layer_groups} layer groups"
                 )
         if self.kv == BF16:
             raise ValueError(
@@ -120,7 +168,12 @@ class QuantRecipe:
                 f"recipe {self.name!r}: integration must be one of "
                 f"{_INTEGRATIONS}, got {self.integration!r}"
             )
-        if self.integration != "none" and "+" not in self.act + self.weight:
+        mxplus_roles = self.act + self.weight + "".join(
+            fmt for _, fmt in self.layer_overrides
+        )
+        if self.lm_head not in (AUTO, BF16):
+            mxplus_roles += self.lm_head
+        if self.integration != "none" and "+" not in mxplus_roles:
             raise ValueError(
                 f"recipe {self.name!r}: integration={self.integration!r} "
                 "requires an MX+ family format on the act or weight role"
@@ -175,7 +228,10 @@ class QuantRecipe:
                     name=key, act=fmt, weight=base, integration="software"
                 )
         if _is_format(key):
-            integration = "hardware" if key.endswith("+") else "none"
+            # MX+/MX++ family formats imply Section 6 hardware integration;
+            # membership is a "+" anywhere in the name so block-size
+            # variants ("mxfp4+-k64") classify like their parents.
+            integration = "hardware" if "+" in key else "none"
             return QuantRecipe(name=key, act=key, weight=key, integration=integration)
         candidates = sorted(set(available_recipes()) | set(available_formats()))
         raise KeyError(
@@ -208,6 +264,40 @@ class QuantRecipe:
         return replace(self, **kwargs)
 
     @property
+    def overrides(self) -> dict[int, str]:
+        """``layer_overrides`` as a plain ``{layer: fmt}`` dict.
+
+        >>> get_recipe("mxfp4").with_(layer_overrides={1: "mxfp4+"}).overrides
+        {1: 'mxfp4+'}
+        """
+        return dict(self.layer_overrides)
+
+    def layer_format(self, layer: int) -> str:
+        """The act/weight format layer ``layer`` runs under (override or
+        the recipe-wide activation/weight roles — which must agree for a
+        single answer; mixed global roles return the act format)."""
+        return self.overrides.get(layer, self.act)
+
+    def spread_overrides(self, n_layers: int) -> dict[int, str]:
+        """Project group-indexed overrides onto ``n_layers`` physical layers.
+
+        With ``n_layer_groups == G``, group ``g`` covers layers
+        ``[g*n/G, (g+1)*n/G)`` — the convention the timing model uses to
+        serve a recipe tuned on a ``G``-block stand-in model on a
+        full-size architecture. Physical-indexed recipes come back as-is.
+
+        >>> r = get_recipe("mxfp4").with_(layer_overrides={1: "mxfp4+"},
+        ...                               n_layer_groups=2)
+        >>> r.spread_overrides(4)
+        {2: 'mxfp4+', 3: 'mxfp4+'}
+        """
+        from ..gpu.inference import spread_layer_overrides  # single source
+
+        return spread_layer_overrides(
+            self.layer_overrides, self.n_layer_groups, n_layers
+        )
+
+    @property
     def kv_format(self) -> str:
         """The resolved KV-cache storage format name.
 
@@ -230,14 +320,21 @@ class QuantRecipe:
     # adapters: the one recipe object feeds both repo paths
     # ------------------------------------------------------------------
     def to_context(self):
-        """Adapt to the numeric path: a :class:`repro.nn.quantize.QuantContext`."""
+        """Adapt to the numeric path: a :class:`repro.nn.quantize.QuantContext`.
+
+        Layer overrides become per-layer derived contexts: block ``i`` of a
+        :class:`repro.nn.transformer.TransformerLM` picks them up through
+        ``QuantContext.layer_context(i)``. With ``kv="auto"`` an overridden
+        layer's attention operands follow that layer's format (the KV cache
+        is stored per layer); an explicit ``kv=`` pins every layer.
+        """
         from ..nn.quantize import QuantContext
 
         full = self.scope == "full"
         head_override = (
             None if self.lm_head in (AUTO, BF16) else get_format(self.lm_head)
         )
-        return QuantContext(
+        base = QuantContext(
             act=None if self.act == BF16 else get_format(self.act),
             weight=None if self.weight == BF16 else get_format(self.weight),
             kv=None if self.kv == AUTO else get_format(self.kv),
@@ -246,7 +343,18 @@ class QuantRecipe:
             quantize_attention=full and self.attention != BF16,
             bf16_base=self.bf16_base,
             name=self.name,
+            n_layer_groups=self.n_layer_groups,
         )
+        for layer, fmt in self.layer_overrides:
+            layer_fmt = None if fmt == BF16 else get_format(fmt)
+            base.layer_overrides[layer] = base.with_(
+                act=layer_fmt,
+                weight=layer_fmt,
+                name=f"{self.name}@L{layer}",
+                layer_overrides={},
+                n_layer_groups=0,
+            )
+        return base
 
     def to_serving_config(self):
         """Adapt to the timing path: a :class:`repro.gpu.inference.ServingConfig`."""
@@ -259,7 +367,50 @@ class QuantRecipe:
             mxplus_software=self.integration == "software",
             mxplus_hardware=self.integration == "hardware",
             min_tile_m=self.min_tile_m,
+            kv_fmt=self.kv_format,
+            lm_head_fmt=self.weight if self.lm_head == AUTO else self.lm_head,
+            layer_overrides=self.layer_overrides,
+            n_layer_groups=self.n_layer_groups,
         )
+
+    # ------------------------------------------------------------------
+    # serialization (tuned-recipe frontiers persist recipes as JSON)
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """JSON-ready dict; exact inverse of :meth:`from_dict`.
+
+        >>> QuantRecipe.from_dict(get_recipe("a8w4").to_dict()) == get_recipe("a8w4")
+        True
+        """
+        out = {
+            "name": self.name,
+            "act": self.act,
+            "weight": self.weight,
+            "kv": self.kv,
+            "lm_head": self.lm_head,
+            "attention": self.attention,
+            "integration": self.integration,
+            "scope": self.scope,
+            "bf16_base": self.bf16_base,
+            "min_tile_m": self.min_tile_m,
+        }
+        if self.layer_overrides:
+            out["layer_overrides"] = {
+                str(layer): fmt for layer, fmt in self.layer_overrides
+            }
+        if self.n_layer_groups:
+            out["n_layer_groups"] = self.n_layer_groups
+        return out
+
+    @staticmethod
+    def from_dict(payload: dict) -> "QuantRecipe":
+        """Rebuild a recipe from :meth:`to_dict` output."""
+        data = dict(payload)
+        overrides = data.pop("layer_overrides", {})
+        data["layer_overrides"] = tuple(
+            sorted((int(k), v) for k, v in dict(overrides).items())
+        )
+        return QuantRecipe(**data)
 
 
 # ----------------------------------------------------------------------

@@ -1,0 +1,134 @@
+"""Serving-cost model: one throughput/footprint score per recipe.
+
+A candidate recipe's serving cost has two coupled components, and this
+module composes exactly the two primitives the serving stack already
+trusts:
+
+* **step time** — :func:`repro.gpu.inference.step_time`, the roofline
+  matmul model behind ``ServingEngine``/``ServingCluster`` (mixed-precision
+  ``layer_overrides`` included);
+* **KV footprint** — :func:`repro.serve.kvcache.kv_token_bytes`, the
+  bytes/token the paged KV allocator charges per resident token.
+
+They meet in the continuous-batching steady state: a page budget divided
+by the recipe's KV bytes/token bounds how many requests sit in one decode
+batch, and the decode step time for that batch sets the token rate. The
+resulting ``tokens_per_s`` is the scalar score the searchers in
+:mod:`repro.tune.search` maximize — a recipe with a leaner KV format earns
+throughput by *fitting more concurrent requests*, which is the paper's
+serving argument for microscaling formats in the first place.
+
+>>> from repro.models.zoo import ARCHS
+>>> cost = CostModel(ARCHS["llama-2-13b"])
+>>> mx4, bf16 = cost.evaluate("mxfp4"), cost.evaluate("bf16")
+>>> mx4.concurrency > 3 * bf16.concurrency  # 4.25-bit KV vs 16-bit KV
+True
+>>> mx4.tokens_per_s > bf16.tokens_per_s
+True
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..gpu.inference import step_time
+from ..gpu.spec import GPUSpec, RTX5090
+from ..models.zoo import ArchSpec
+from ..serve.kvcache import kv_token_bytes
+from ..serve.recipe import QuantRecipe
+
+__all__ = ["RecipeCost", "CostModel"]
+
+
+@dataclass(frozen=True)
+class RecipeCost:
+    """Evaluated serving cost of one recipe under a :class:`CostModel`."""
+
+    recipe_name: str
+    tokens_per_s: float  # steady-state decode throughput (the score)
+    concurrency: int  # requests resident under the page budget
+    kv_bytes_per_token: float
+    decode_step_s: float  # one decode iteration at full concurrency
+    prefill_s: float  # one full-batch prefill (amortized into the score)
+
+    @property
+    def score(self) -> float:
+        """The single scalar the searchers maximize (higher is better)."""
+        return self.tokens_per_s
+
+    def to_dict(self) -> dict:
+        return {
+            "recipe": self.recipe_name,
+            "tokens_per_s": self.tokens_per_s,
+            "concurrency": self.concurrency,
+            "kv_bytes_per_token": self.kv_bytes_per_token,
+            "decode_step_ms": self.decode_step_s * 1e3,
+            "prefill_ms": self.prefill_s * 1e3,
+        }
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Steady-state serving scenario a recipe is priced against.
+
+    ``page_budget_bytes`` of KV memory serve requests of ``prompt_len``
+    prompt tokens generating ``output_len`` tokens each; concurrency is
+    whatever the recipe's KV format fits (capped by ``max_batch``), decode
+    runs at the mid-generation context length, and each output token
+    amortizes its share of the prefill.
+    """
+
+    arch: ArchSpec
+    spec: GPUSpec = RTX5090
+    page_budget_bytes: float = float(4 << 30)
+    prompt_len: int = 512
+    output_len: int = 128
+    max_batch: int = 256
+
+    # ------------------------------------------------------------------
+    def concurrency(self, recipe) -> int:
+        """Decode-batch size the KV page budget sustains for ``recipe``."""
+        per_request = kv_token_bytes(self.arch, self._coerce(recipe)) * (
+            self.prompt_len + self.output_len
+        )
+        return max(1, min(self.max_batch, int(self.page_budget_bytes // per_request)))
+
+    def evaluate(self, recipe) -> RecipeCost:
+        """Price one recipe: simulated steady-state serving tokens/s."""
+        recipe = self._coerce(recipe)
+        concurrency = self.concurrency(recipe)
+        mid_ctx = self.prompt_len + self.output_len // 2
+        decode = step_time(
+            self.spec, self.arch, recipe, [(concurrency, mid_ctx)]
+        )
+        prefill = step_time(
+            self.spec,
+            self.arch,
+            recipe,
+            [(concurrency * self.prompt_len, self.prompt_len)],
+        )
+        per_token = decode + prefill / self.output_len
+        return RecipeCost(
+            recipe_name=recipe.name,
+            tokens_per_s=concurrency / per_token,
+            concurrency=concurrency,
+            kv_bytes_per_token=kv_token_bytes(self.arch, recipe),
+            decode_step_s=decode,
+            prefill_s=prefill,
+        )
+
+    @staticmethod
+    def _coerce(recipe) -> QuantRecipe:
+        if isinstance(recipe, str):
+            return QuantRecipe.from_name(recipe)
+        return recipe
+
+    def to_dict(self) -> dict:
+        return {
+            "arch": self.arch.name,
+            "gpu": self.spec.name,
+            "page_budget_bytes": self.page_budget_bytes,
+            "prompt_len": self.prompt_len,
+            "output_len": self.output_len,
+            "max_batch": self.max_batch,
+        }

@@ -1,0 +1,165 @@
+"""Pareto-frontier bookkeeping for searched serving recipes.
+
+The tuner's output is not one recipe but a *frontier*: the set of
+(perplexity, tokens/s) points no other candidate dominates. This module
+owns the dominance arithmetic, the JSON serialization the committed
+``benchmarks/results/tune_frontier.json`` artifact uses, and the bridge
+back into the serving stack — :meth:`ParetoFrontier.register` pushes every
+frontier recipe through :func:`repro.serve.recipe.register_recipe`, so a
+tuned recipe is immediately addressable by name in ``ServingEngine`` /
+``ServingCluster``.
+
+>>> from repro.serve import QuantRecipe
+>>> a = FrontierPoint(QuantRecipe.from_name("mxfp4"), perplexity=46.7,
+...                   tokens_per_s=3905.0, kv_bytes_per_token=217600.0)
+>>> b = FrontierPoint(QuantRecipe.from_name("mxfp8"), perplexity=45.0,
+...                   tokens_per_s=2000.0, kv_bytes_per_token=422400.0)
+>>> f = ParetoFrontier()
+>>> f.add(a) and f.add(b)  # neither dominates the other
+True
+>>> worse = FrontierPoint(QuantRecipe.from_name("mxfp6"), perplexity=47.0,
+...                       tokens_per_s=2600.0, kv_bytes_per_token=320000.0)
+>>> f.add(worse)  # dominated by `a` on both axes
+False
+>>> [p.recipe.name for p in f]
+['mxfp8', 'mxfp4']
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from ..serve.recipe import QuantRecipe, register_recipe
+
+__all__ = ["FrontierPoint", "ParetoFrontier"]
+
+
+@dataclass(frozen=True)
+class FrontierPoint:
+    """One evaluated candidate: a recipe and its quality/cost coordinates.
+
+    ``perplexity`` is *measured* on the real numeric path (lower is
+    better); ``tokens_per_s`` is the cost model's simulated serving
+    throughput (higher is better). ``predicted_ppl`` keeps the sensitivity
+    model's additive estimate for diagnostics, and ``origin`` records which
+    search stage produced the point.
+    """
+
+    recipe: QuantRecipe
+    perplexity: float
+    tokens_per_s: float
+    kv_bytes_per_token: float
+    predicted_ppl: float | None = None
+    origin: str = "search"
+
+    def dominates(self, other: "FrontierPoint") -> bool:
+        """Pareto dominance: no worse on both axes, strictly better on one."""
+        no_worse = (
+            self.perplexity <= other.perplexity
+            and self.tokens_per_s >= other.tokens_per_s
+        )
+        strict = (
+            self.perplexity < other.perplexity
+            or self.tokens_per_s > other.tokens_per_s
+        )
+        return no_worse and strict
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        out = {
+            "recipe": self.recipe.to_dict(),
+            "perplexity": self.perplexity,
+            "tokens_per_s": self.tokens_per_s,
+            "kv_bytes_per_token": self.kv_bytes_per_token,
+            "origin": self.origin,
+        }
+        if self.predicted_ppl is not None:
+            out["predicted_ppl"] = self.predicted_ppl
+        return out
+
+    @staticmethod
+    def from_dict(payload: dict) -> "FrontierPoint":
+        return FrontierPoint(
+            recipe=QuantRecipe.from_dict(payload["recipe"]),
+            perplexity=float(payload["perplexity"]),
+            tokens_per_s=float(payload["tokens_per_s"]),
+            kv_bytes_per_token=float(payload["kv_bytes_per_token"]),
+            predicted_ppl=payload.get("predicted_ppl"),
+            origin=payload.get("origin", "search"),
+        )
+
+
+@dataclass
+class ParetoFrontier:
+    """The non-dominated set, kept sorted by ascending perplexity."""
+
+    points: list[FrontierPoint] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+    def __iter__(self):
+        return iter(self.points)
+
+    # ------------------------------------------------------------------
+    def add(self, point: FrontierPoint) -> bool:
+        """Insert ``point`` unless dominated; evict points it dominates.
+
+        Returns True when the point joined the frontier. A point whose
+        coordinates duplicate an existing entry is dropped (the first
+        recipe to reach a coordinate keeps it, so re-runs are stable).
+        """
+        for existing in self.points:
+            if existing.dominates(point):
+                return False
+            if (
+                existing.perplexity == point.perplexity
+                and existing.tokens_per_s == point.tokens_per_s
+            ):
+                return False
+        self.points = [p for p in self.points if not point.dominates(p)]
+        self.points.append(point)
+        self.points.sort(key=lambda p: (p.perplexity, -p.tokens_per_s))
+        return True
+
+    def dominating(self, other: FrontierPoint) -> list[FrontierPoint]:
+        """Frontier points that Pareto-dominate ``other``."""
+        return [p for p in self.points if p.dominates(other)]
+
+    def best_under(self, max_perplexity: float) -> FrontierPoint | None:
+        """Highest-throughput point whose perplexity meets the budget."""
+        ok = [p for p in self.points if p.perplexity <= max_perplexity]
+        return max(ok, key=lambda p: p.tokens_per_s) if ok else None
+
+    # ------------------------------------------------------------------
+    def to_payload(self) -> dict:
+        return {"points": [p.to_dict() for p in self.points]}
+
+    @staticmethod
+    def from_payload(payload: dict) -> "ParetoFrontier":
+        frontier = ParetoFrontier()
+        for entry in payload.get("points", []):
+            frontier.add(FrontierPoint.from_dict(entry))
+        return frontier
+
+    def save(self, path) -> None:
+        """Write the frontier as deterministic JSON (stable key order)."""
+        Path(path).write_text(
+            json.dumps(self.to_payload(), indent=2, sort_keys=True) + "\n"
+        )
+
+    @staticmethod
+    def load(path) -> "ParetoFrontier":
+        return ParetoFrontier.from_payload(json.loads(Path(path).read_text()))
+
+    # ------------------------------------------------------------------
+    def register(self, overwrite: bool = True) -> list[QuantRecipe]:
+        """Register every frontier recipe in the serving recipe registry.
+
+        This is the tune -> serve handoff: afterwards each winner resolves
+        via ``repro.serve.get_recipe(name)`` and can be handed straight to
+        ``ServingEngine`` / ``ServingCluster``.
+        """
+        return [register_recipe(p.recipe, overwrite=overwrite) for p in self.points]

@@ -1,0 +1,349 @@
+"""Recipe search: deterministic greedy bit-descent + seeded evolution.
+
+Both searchers walk the same space: an *assignment* maps every tunable
+role — each transformer block, the LM head, and the KV path — to one rung
+of a format ladder ordered widest-first. Candidates are ranked by the
+sensitivity report's additive perplexity surrogate and the cost model's
+throughput score; the points worth keeping are re-measured with a real
+perplexity evaluation and pushed onto a shared
+:class:`~repro.tune.frontier.ParetoFrontier`.
+
+* :func:`greedy_bit_descent` — classic mixed-precision descent: start
+  with every role at the widest rung and repeatedly take the single
+  step-down with the best throughput-gain per predicted-perplexity-loss.
+  Fully deterministic; its trajectory traces one staircase through the
+  quality/cost plane.
+* :func:`evolutionary_search` — a seeded (mu + lambda) evolution over
+  assignments with non-dominated sorting, which escapes the greedy
+  staircase by mixing rungs across roles (e.g. spending the KV path's
+  saved bytes on a wider LM head).
+
+Everything is seeded and deterministic: equal inputs produce equal
+frontiers, byte for byte — the committed ``tune_frontier.json`` artifact
+depends on it.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..serve.recipe import BF16, QuantRecipe
+from .cost import CostModel, RecipeCost
+from .frontier import FrontierPoint, ParetoFrontier
+from .sensitivity import SensitivityReport
+
+__all__ = [
+    "DEFAULT_LADDER",
+    "KV_LADDER",
+    "Candidate",
+    "recipe_from_assignment",
+    "greedy_bit_descent",
+    "evolutionary_search",
+]
+
+#: act/weight format ladder, widest first (the greedy descent order).
+DEFAULT_LADDER = (
+    "bf16",
+    "mxfp8+",
+    "mxfp6+",
+    "mxfp4+",
+    "mxfp4+-k64",
+    "mxfp4",
+    "mxfp4-k64",
+)
+
+#: KV-path ladder: storage formats for the attention/KV-cache operands.
+KV_LADDER = ("mxfp8", "mxfp6", "mxfp4+", "mxfp4", "mxfp4-k64")
+
+
+@dataclass
+class Candidate:
+    """One evaluated assignment: recipe + surrogate ppl + serving cost."""
+
+    assignment: dict
+    recipe: QuantRecipe
+    predicted_ppl: float
+    cost: RecipeCost
+    origin: str = "search"
+
+    def point(self, measured_ppl: float) -> FrontierPoint:
+        return FrontierPoint(
+            recipe=self.recipe,
+            perplexity=measured_ppl,
+            tokens_per_s=self.cost.tokens_per_s,
+            kv_bytes_per_token=self.cost.kv_bytes_per_token,
+            predicted_ppl=self.predicted_ppl,
+            origin=self.origin,
+        )
+
+
+def recipe_from_assignment(
+    assignment: dict, n_layers: int, name: str | None = None
+) -> QuantRecipe:
+    """Build the :class:`QuantRecipe` a role assignment describes.
+
+    The most common per-layer format becomes the recipe-wide act/weight
+    role (ties break lexicographically, so the choice is deterministic);
+    differing layers become ``layer_overrides`` indexed over ``n_layers``
+    layer groups, so the same recipe drives both the stand-in model and a
+    full-size serving architecture. MX+ formats anywhere turn on hardware
+    integration (Section 6 BCU).
+
+    >>> r = recipe_from_assignment(
+    ...     {"layer:0": "mxfp4+", "layer:1": "mxfp4", "lm_head": "mxfp4+",
+    ...      "kv": "mxfp4-k64"}, n_layers=2)
+    >>> r.act, r.overrides, r.kv, r.lm_head, r.integration
+    ('mxfp4+', {1: 'mxfp4'}, 'mxfp4-k64', 'mxfp4+', 'hardware')
+    """
+    layer_fmts = [assignment[f"layer:{i}"] for i in range(n_layers)]
+    counts = Counter(layer_fmts)
+    base = max(counts, key=lambda fmt: (counts[fmt], fmt))
+    overrides = {
+        i: fmt for i, fmt in enumerate(layer_fmts) if fmt != base
+    }
+    lm_head = assignment.get("lm_head", "auto")
+    kv = assignment.get("kv", "auto")
+    mxplus = "+" in "".join(layer_fmts) or "+" in lm_head
+    if name is None:
+        name = "tuned-" + "-".join(
+            [fmt.replace("+", "p") for fmt in layer_fmts]
+            + [f"h.{lm_head.replace('+', 'p')}", f"kv.{kv.replace('+', 'p')}"]
+        )
+    return QuantRecipe(
+        name=name,
+        act=base,
+        weight=base,
+        kv=kv,
+        lm_head=lm_head,
+        layer_overrides=overrides,
+        n_layer_groups=n_layers,
+        integration="hardware" if mxplus else "none",
+    )
+
+
+# ----------------------------------------------------------------------
+# shared evaluation plumbing
+# ----------------------------------------------------------------------
+@dataclass
+class _Evaluator:
+    """Memoized assignment -> Candidate evaluation + frontier recording."""
+
+    report: SensitivityReport
+    cost_model: CostModel
+    measure_ppl: object  # callable(QuantRecipe) -> float
+    frontier: ParetoFrontier
+    origin: str = "search"
+    _cache: dict = field(default_factory=dict)
+    _measured: dict = field(default_factory=dict)
+    measurements: int = 0
+
+    def candidate(self, assignment: dict) -> Candidate:
+        key = tuple(sorted(assignment.items()))
+        if key not in self._cache:
+            recipe = recipe_from_assignment(assignment, self.report.n_layers)
+            self._cache[key] = Candidate(
+                assignment=dict(assignment),
+                recipe=recipe,
+                predicted_ppl=self.report.predict(assignment),
+                cost=self.cost_model.evaluate(recipe),
+                origin=self.origin,
+            )
+        return self._cache[key]
+
+    def measure(self, candidate: Candidate) -> FrontierPoint:
+        """Measure true perplexity (memoized) and record on the frontier."""
+        key = candidate.recipe
+        if key not in self._measured:
+            self._measured[key] = float(self.measure_ppl(candidate.recipe))
+            self.measurements += 1
+        point = candidate.point(self._measured[key])
+        self.frontier.add(point)
+        return point
+
+
+def _slots(report: SensitivityReport, ladder: tuple, kv_ladder: tuple) -> list:
+    slots = [(f"layer:{i}", tuple(ladder)) for i in range(report.n_layers)]
+    slots.append(("lm_head", tuple(ladder)))
+    slots.append(("kv", tuple(kv_ladder)))
+    return slots
+
+
+# ----------------------------------------------------------------------
+# greedy bit-descent
+# ----------------------------------------------------------------------
+def greedy_bit_descent(
+    report: SensitivityReport,
+    cost_model: CostModel,
+    measure_ppl,
+    frontier: ParetoFrontier | None = None,
+    ladder: tuple = DEFAULT_LADDER,
+    kv_ladder: tuple = KV_LADDER,
+    max_ppl: float | None = None,
+    ppl_eps: float = 1e-6,
+) -> ParetoFrontier:
+    """Deterministic widest-to-narrowest descent over role assignments.
+
+    From the all-widest assignment, each step evaluates every legal
+    single-role step-down and commits the one with the largest throughput
+    gain per unit of predicted perplexity loss (moves that *improve* the
+    surrogate are taken first unconditionally). Every committed state is
+    measured for real and offered to the frontier. Stops when every role
+    sits on the narrowest rung or the predicted perplexity would exceed
+    ``max_ppl``.
+    """
+    frontier = frontier if frontier is not None else ParetoFrontier()
+    ev = _Evaluator(report, cost_model, measure_ppl, frontier, origin="greedy")
+    slots = _slots(report, ladder, kv_ladder)
+    rungs = {role: 0 for role, _ in slots}
+
+    def assignment() -> dict:
+        return {role: steps[rungs[role]] for role, steps in slots}
+
+    current = ev.candidate(assignment())
+    ev.measure(current)
+    while True:
+        best = None
+        for role, steps in slots:
+            if rungs[role] + 1 >= len(steps):
+                continue
+            rungs[role] += 1
+            nxt = ev.candidate(assignment())
+            rungs[role] -= 1
+            if max_ppl is not None and nxt.predicted_ppl > max_ppl:
+                continue
+            dppl = nxt.predicted_ppl - current.predicted_ppl
+            dscore = nxt.cost.score - current.cost.score
+            # Rank: surrogate-improving moves first (by throughput gain),
+            # then best throughput-per-perplexity ratio; ties resolve by
+            # slot order for determinism.
+            if dppl <= 0:
+                rank = (0, -dscore)
+            else:
+                rank = (1, -(dscore / (dppl + ppl_eps)))
+            if best is None or rank < best[0]:
+                best = (rank, role, nxt)
+        if best is None:
+            break
+        rungs[best[1]] += 1
+        current = best[2]
+        ev.measure(current)
+    return frontier
+
+
+# ----------------------------------------------------------------------
+# evolutionary search
+# ----------------------------------------------------------------------
+def _nondominated_rank(objs: list[tuple[float, float]]) -> list[int]:
+    """Pareto rank per point for (minimize ppl, maximize score) pairs."""
+    n = len(objs)
+    ranks = [0] * n
+    remaining = list(range(n))
+    rank = 0
+    while remaining:
+        front = [
+            i
+            for i in remaining
+            if not any(
+                (objs[j][0] <= objs[i][0] and objs[j][1] >= objs[i][1])
+                and (objs[j][0] < objs[i][0] or objs[j][1] > objs[i][1])
+                for j in remaining
+            )
+        ]
+        if not front:  # pragma: no cover - duplicate-only degenerate case
+            front = list(remaining)
+        for i in front:
+            ranks[i] = rank
+            remaining.remove(i)
+        rank += 1
+    return ranks
+
+
+def evolutionary_search(
+    report: SensitivityReport,
+    cost_model: CostModel,
+    measure_ppl,
+    frontier: ParetoFrontier | None = None,
+    ladder: tuple = DEFAULT_LADDER,
+    kv_ladder: tuple = KV_LADDER,
+    seed: int = 0,
+    population: int = 24,
+    generations: int = 8,
+    measure_top: int = 3,
+    max_ppl: float | None = None,
+) -> ParetoFrontier:
+    """Seeded (mu + lambda) evolution over per-role format assignments.
+
+    Genomes are rung-index vectors over the search slots. Selection is
+    non-dominated rank on (predicted perplexity, throughput score) with
+    throughput as the tie-break; variation is uniform crossover plus
+    per-slot rung mutation. Each generation the ``measure_top`` best
+    not-yet-measured genomes get a real perplexity evaluation and are
+    offered to the frontier. Identical seeds reproduce identical
+    frontiers.
+    """
+    frontier = frontier if frontier is not None else ParetoFrontier()
+    ev = _Evaluator(report, cost_model, measure_ppl, frontier, origin="evolution")
+    slots = _slots(report, ladder, kv_ladder)
+    widths = [len(steps) for _, steps in slots]
+    rng = np.random.default_rng(seed)
+
+    def to_assignment(genome: tuple) -> dict:
+        return {
+            role: steps[rung]
+            for (role, steps), rung in zip(slots, genome)
+        }
+
+    # Seed population: every uniform ladder level, then random genomes.
+    pop: list[tuple] = []
+    for level in range(max(widths)):
+        pop.append(tuple(min(level, w - 1) for w in widths))
+    while len(pop) < population:
+        pop.append(tuple(int(rng.integers(0, w)) for w in widths))
+    pop = list(dict.fromkeys(pop))[:population]
+
+    measured: set = set()
+
+    def step(pop: list[tuple]) -> list[tuple]:
+        cands = [ev.candidate(to_assignment(g)) for g in pop]
+        objs = [(c.predicted_ppl, c.cost.score) for c in cands]
+        ranks = _nondominated_rank(objs)
+        order = sorted(
+            range(len(pop)), key=lambda i: (ranks[i], -objs[i][1], pop[i])
+        )
+        # Real measurements for the best unseen genomes this generation.
+        fresh = [i for i in order if pop[i] not in measured]
+        for i in fresh[:measure_top]:
+            if max_ppl is not None and cands[i].predicted_ppl > max_ppl:
+                continue
+            measured.add(pop[i])
+            ev.measure(cands[i])
+        # (mu + lambda): elites survive, offspring fill the rest.
+        elites = [pop[i] for i in order[: max(2, population // 4)]]
+        children: list[tuple] = []
+        while len(elites) + len(children) < population:
+            a, b = (
+                elites[int(rng.integers(0, len(elites)))],
+                pop[order[int(rng.integers(0, len(order)))]],
+            )
+            mask = rng.integers(0, 2, size=len(widths))
+            child = [ai if m else bi for ai, bi, m in zip(a, b, mask)]
+            for k in range(len(child)):  # per-slot rung mutation
+                if rng.random() < 1.0 / len(child):
+                    child[k] = int(rng.integers(0, widths[k]))
+            children.append(tuple(child))
+        return list(dict.fromkeys(elites + children))
+
+    for _ in range(generations):
+        pop = step(pop)
+    # Final measurement pass over the closing population's front.
+    cands = [ev.candidate(to_assignment(g)) for g in pop]
+    objs = [(c.predicted_ppl, c.cost.score) for c in cands]
+    ranks = _nondominated_rank(objs)
+    order = sorted(range(len(pop)), key=lambda i: (ranks[i], -objs[i][1], pop[i]))
+    for i in [i for i in order if pop[i] not in measured][:measure_top]:
+        measured.add(pop[i])
+        ev.measure(cands[i])
+    return frontier

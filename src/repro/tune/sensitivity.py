@@ -1,0 +1,240 @@
+"""Per-layer / per-role quantization-sensitivity profiling.
+
+The search space of a mixed-precision recipe is too large to measure
+exhaustively, but the paper's damage mechanism is local: a layer whose
+activation blocks carry outliers collapses under a narrow format while its
+neighbours shrug. Profiling measures, for every *role* (each transformer
+block, the LM head, and the KV/attention path) and every candidate format,
+the held-out perplexity of the model with **only that role** quantized —
+the real :class:`repro.nn.transformer.TransformerLM` numeric path through
+:func:`repro.eval.perplexity.perplexity`, not a proxy.
+
+The resulting :class:`SensitivityReport` supports an additive first-order
+perplexity prediction for any full assignment (the standard mixed-precision
+search surrogate, cf. NxFP's per-tensor sweeps), which the searchers in
+:mod:`repro.tune.search` rank candidates with before spending a real
+measurement.
+
+Profiles are cached as JSON under the model cache directory, keyed by the
+model's training fingerprint and the evaluation protocol, and the cache is
+*resumable*: an interrupted profile keeps every finished cell.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+from ..eval.perplexity import perplexity
+from ..models.zoo import PROFILES, _profile_key, cache_dir, get_corpus, load_model
+from ..serve.recipe import BF16, QuantRecipe
+
+__all__ = [
+    "SensitivityReport",
+    "probe_recipe",
+    "profile_sensitivity",
+    "DEFAULT_PROFILE_FORMATS",
+]
+
+#: formats profiled by default: the MX ladder the tuner searches over.
+DEFAULT_PROFILE_FORMATS = (
+    "mxfp8+",
+    "mxfp6+",
+    "mxfp4+",
+    "mxfp4+-k64",
+    "mxfp4",
+    "mxfp4-k64",
+)
+
+
+@dataclass
+class SensitivityReport:
+    """Perplexity of the model with one role quantized at a time.
+
+    ``cells[role][fmt]`` is the measured perplexity; roles are
+    ``"layer:<i>"`` for each transformer block, ``"lm_head"``, and
+    ``"kv"`` (the attention/KV-cache operands across all layers).
+    """
+
+    model: str
+    corpus: str
+    batch: int
+    seq_len: int
+    n_layers: int
+    formats: tuple
+    baseline_ppl: float
+    cells: dict
+    kv_formats: tuple = ()  # KV-role ladder; empty means "same as formats"
+
+    # ------------------------------------------------------------------
+    @property
+    def roles(self) -> list[str]:
+        return [f"layer:{i}" for i in range(self.n_layers)] + ["lm_head", "kv"]
+
+    def role_formats(self, role: str) -> tuple:
+        """The format ladder profiled for ``role`` (KV has its own)."""
+        if role == "kv" and self.kv_formats:
+            return self.kv_formats
+        return self.formats
+
+    def ppl(self, role: str, fmt: str) -> float:
+        """Measured perplexity with only ``role`` in format ``fmt``."""
+        if fmt == BF16:
+            return self.baseline_ppl
+        return self.cells[role][fmt]
+
+    def delta(self, role: str, fmt: str) -> float:
+        """Perplexity increase attributable to quantizing ``role`` alone."""
+        return self.ppl(role, fmt) - self.baseline_ppl
+
+    def predict(self, assignment: dict) -> float:
+        """First-order additive perplexity estimate for a full assignment.
+
+        ``assignment`` maps roles to format names (``"bf16"`` allowed).
+        The estimate is ``baseline + sum(delta(role, fmt))`` — exact when
+        quantization damage is independent across roles, and a useful
+        ranking surrogate when it is not (searchers re-measure the points
+        they keep).
+        """
+        return self.baseline_ppl + sum(
+            self.delta(role, fmt) for role, fmt in assignment.items()
+        )
+
+    def ranked_roles(self, fmt: str) -> list[tuple[str, float]]:
+        """Roles sorted most-sensitive-first by their delta under ``fmt``."""
+        pairs = [(role, self.delta(role, fmt)) for role in self.roles]
+        return sorted(pairs, key=lambda rf: (-rf[1], rf[0]))
+
+    # ------------------------------------------------------------------
+    def to_payload(self) -> dict:
+        return {
+            "model": self.model,
+            "corpus": self.corpus,
+            "batch": self.batch,
+            "seq_len": self.seq_len,
+            "n_layers": self.n_layers,
+            "formats": list(self.formats),
+            "kv_formats": list(self.kv_formats),
+            "baseline_ppl": self.baseline_ppl,
+            "cells": self.cells,
+        }
+
+    @staticmethod
+    def from_payload(payload: dict) -> "SensitivityReport":
+        return SensitivityReport(
+            model=payload["model"],
+            corpus=payload["corpus"],
+            batch=int(payload["batch"]),
+            seq_len=int(payload["seq_len"]),
+            n_layers=int(payload["n_layers"]),
+            formats=tuple(payload["formats"]),
+            kv_formats=tuple(payload.get("kv_formats", ())),
+            baseline_ppl=float(payload["baseline_ppl"]),
+            cells={r: dict(c) for r, c in payload["cells"].items()},
+        )
+
+
+def probe_recipe(role: str, fmt: str, n_layers: int) -> QuantRecipe:
+    """The recipe that quantizes exactly one role of an ``n_layers`` model.
+
+    >>> probe_recipe("layer:1", "mxfp4", 2).overrides
+    {1: 'mxfp4'}
+    >>> probe_recipe("kv", "mxfp8", 2).kv
+    'mxfp8'
+    """
+    name = f"probe-{role.replace(':', '')}-{fmt}"
+    if role.startswith("layer:"):
+        layer = int(role.split(":", 1)[1])
+        return QuantRecipe(
+            name, layer_overrides={layer: fmt}, n_layer_groups=n_layers
+        )
+    if role == "lm_head":
+        return QuantRecipe(name, lm_head=fmt)
+    if role == "kv":
+        return QuantRecipe(name, kv=fmt)
+    raise KeyError(f"unknown sensitivity role {role!r}")
+
+
+def _cache_key(
+    model: str, formats: tuple, kv_formats: tuple, batch: int, seq_len: int
+) -> str:
+    profile = PROFILES[model]
+    payload = json.dumps(
+        [model, _profile_key(profile), sorted(formats), sorted(kv_formats),
+         batch, seq_len]
+    )
+    return hashlib.sha1(payload.encode()).hexdigest()[:12]
+
+
+def profile_sensitivity(
+    model: str = "test-tiny",
+    formats: tuple = DEFAULT_PROFILE_FORMATS,
+    kv_formats: tuple | None = None,
+    batch: int = 16,
+    seq_len: int = 128,
+    cache: bool = True,
+    cache_path=None,
+    verbose: bool = False,
+) -> SensitivityReport:
+    """Measure (or load) the per-role sensitivity grid.
+
+    Layer and LM-head roles are profiled under ``formats``; the KV role
+    under ``kv_formats`` (defaulting to ``formats``) — the searchers draw
+    the KV slot from its own ladder, so profiling the cross product would
+    spend real model evaluations on cells nothing reads. Each cell is one
+    perplexity evaluation of the real model on its held-out corpus,
+    seeded and deterministic. With ``cache`` the grid persists next to
+    the trained model weights and partial results are reused cell by
+    cell, so an interrupted profile resumes instead of restarting.
+    """
+    formats = tuple(dict.fromkeys(formats))  # stable de-dup
+    kv_formats = tuple(dict.fromkeys(kv_formats)) if kv_formats else formats
+    profile = PROFILES[model]
+    lm = load_model(model)
+    corpus = get_corpus(profile.corpus, profile.train_tokens)
+    n_layers = lm.config.n_layers
+
+    path = Path(cache_path) if cache_path else (
+        cache_dir()
+        / f"tune-sensitivity-{model}-{_cache_key(model, formats, kv_formats, batch, seq_len)}.json"
+    )
+    cells: dict = {}
+    baseline_ppl = None
+    if cache and path.exists():
+        stored = json.loads(path.read_text())
+        cells = {r: dict(c) for r, c in stored.get("cells", {}).items()}
+        baseline_ppl = stored.get("baseline_ppl")
+
+    if baseline_ppl is None:
+        baseline_ppl = perplexity(lm, corpus, "bf16", batch=batch, seq_len=seq_len)
+
+    report = SensitivityReport(
+        model=model,
+        corpus=profile.corpus,
+        batch=batch,
+        seq_len=seq_len,
+        n_layers=n_layers,
+        formats=formats,
+        kv_formats=kv_formats,
+        baseline_ppl=baseline_ppl,
+        cells=cells,
+    )
+
+    dirty = False
+    for role in report.roles:
+        row = cells.setdefault(role, {})
+        for fmt in report.role_formats(role):
+            if fmt in row:
+                continue
+            recipe = probe_recipe(role, fmt, n_layers)
+            row[fmt] = perplexity(lm, corpus, recipe, batch=batch, seq_len=seq_len)
+            dirty = True
+            if verbose:  # pragma: no cover - progress chatter
+                print(f"[tune] {model} {role:>8s} {fmt:>10s}: ppl {row[fmt]:.3f}")
+            if cache:  # persist after every cell: the profile is resumable
+                path.write_text(json.dumps(report.to_payload(), indent=2, sort_keys=True))
+    if cache and dirty:
+        path.write_text(json.dumps(report.to_payload(), indent=2, sort_keys=True))
+    return report

@@ -1,5 +1,5 @@
-"""Documentation checks: doctests over the public `repro.serve` API and
-a markdown link check over README + docs/.
+"""Documentation checks: doctests over the public `repro.serve` and
+`repro.tune` APIs and a markdown link check over README + docs/.
 
 Runs in tier-1 and as the CI docs job, so examples in docstrings stay
 runnable and links stay unbroken.
@@ -17,6 +17,10 @@ import repro.serve.engine
 import repro.serve.kvcache
 import repro.serve.recipe
 import repro.serve.workload
+import repro.tune.cost
+import repro.tune.frontier
+import repro.tune.search
+import repro.tune.sensitivity
 
 REPO = Path(__file__).resolve().parents[1]
 
@@ -26,6 +30,10 @@ DOCTEST_MODULES = [
     repro.serve.engine,
     repro.serve.workload,
     repro.serve.cluster,
+    repro.tune.frontier,
+    repro.tune.cost,
+    repro.tune.search,
+    repro.tune.sensitivity,
 ]
 
 

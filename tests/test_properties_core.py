@@ -72,6 +72,56 @@ def test_mxplus_never_worse_than_mx(x):
     assert e_plus <= e_base + 1e-18 + 1e-9 * e_base
 
 
+@given(
+    finite_arrays,
+    st.sampled_from([E2M1, E2M3, E4M3]),
+    st.sampled_from([16, 32, 64]),
+)
+@settings(max_examples=60, deadline=None)
+def test_mxplus_never_worse_than_mx_any_codec_block(x, codec, block):
+    """MX+ <= MX quantize-dequantize error for *every* codec and block size.
+
+    The MX+ BM grid at the top binade is a superset of the element grid
+    (extended mantissa, same anchor) and NBMs are untouched, so the
+    per-tensor error can never exceed plain MX's for the same codec/block
+    — including block-64 variants like mxfp4-k64 vs mxfp4+-k64.
+    """
+    from repro.core.mx import MXFormat
+    from repro.core.mxplus import MXPlusFormat
+
+    e_plus = np.mean((x - MXPlusFormat(codec, block_size=block)(x)) ** 2)
+    e_base = np.mean((x - MXFormat(codec, block_size=block)(x)) ** 2)
+    assert e_plus <= e_base + 1e-18 + 1e-9 * e_base
+
+
+@given(finite_arrays, st.integers(min_value=1, max_value=4))
+@settings(max_examples=40, deadline=None)
+def test_error_monotone_in_outlier_budget(x, k):
+    """Quantization error is non-increasing in the outlier budget.
+
+    Promoting the top-(k+1) magnitudes to the wider codec relaxes the
+    top-k scheme: the extra promoted element moves to a superset grid
+    under the same shared scale and every other element is unchanged.
+    """
+    from repro.core.topk import TopKPromoteFormat
+
+    e_k = np.mean((x - TopKPromoteFormat(k)(x)) ** 2)
+    e_k1 = np.mean((x - TopKPromoteFormat(k + 1)(x)) ** 2)
+    assert e_k1 <= e_k + 1e-18 + 1e-9 * e_k
+
+
+@given(finite_arrays, st.sampled_from([MXFP4Plus, MXFP6Plus, MXFP8Plus]))
+@settings(max_examples=40, deadline=None)
+def test_mxplus_batched_encode_matches_reference(x, factory):
+    """The vectorized encoder equals the per-block reference field by field."""
+    fmt = factory()
+    fast, slow = fmt.encode(x), fmt.encode_reference(x)
+    np.testing.assert_array_equal(fast.shared_exp, slow.shared_exp)
+    np.testing.assert_array_equal(fast.bm_index, slow.bm_index)
+    np.testing.assert_array_equal(fast.elem_values, slow.elem_values)
+    np.testing.assert_array_equal(fmt.decode(fast), fmt.decode(slow))
+
+
 @given(finite_arrays)
 @settings(max_examples=40, deadline=None)
 def test_mxpp_never_worse_than_mxplus(x):
