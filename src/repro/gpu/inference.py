@@ -150,9 +150,15 @@ def spread_layer_overrides(
 
     Group-indexed overrides (``n_layer_groups == G > 0``) cover equal
     bands ``[g*n/G, (g+1)*n/G)`` — the convention that lets a recipe tuned
-    on a G-block stand-in model drive a full-size architecture. The single
-    source of the band rule: ``QuantRecipe.spread_overrides`` delegates
-    here, and ``step_time`` uses it for per-layer pricing.
+    on a G-block stand-in model drive a full-size architecture. The bands
+    partition ``[0, n)`` (no overlap), and ``QuantContext.layer_context``
+    inverts the rule exactly, so the numeric and timing paths always agree
+    on which physical layer runs which format. When ``G > n`` some bands
+    are empty and those groups' overrides are deterministically dropped —
+    layer ``i`` keeps the assignment of group ``(i*G + G-1) // n``, the
+    densest-information downsample consistent with the inverse mapping.
+    The single source of the band rule: ``QuantRecipe.spread_overrides``
+    delegates here, and ``step_time`` uses it for per-layer pricing.
     """
     if not n_layer_groups or n_layer_groups == n_layers:
         return {layer: fmt for layer, fmt in overrides if layer < n_layers}
@@ -261,7 +267,9 @@ def step_time(
         GemmShape(m, arch.dim, arch.hidden),  # down
     )
 
-    def _layer_time(act_fmt: str, weight_fmt: str, software: bool, hardware: bool) -> float:
+    def _layer_time(
+        act_fmt: str, weight_fmt: str, layer_kv_fmt: str, software: bool, hardware: bool
+    ) -> float:
         def _time(shape: GemmShape, b_fmt: str) -> float:
             return gemm_time(
                 spec,
@@ -275,11 +283,13 @@ def step_time(
 
         layer = sum(_time(shape, weight_fmt) for shape in proj_shapes)
         # attention: scores (rows x ctx x head_dim) and values; the K/V
-        # operands stream from the KV cache in the recipe's KV format
-        # (which follows the activation format unless pinned).
+        # operands stream from the KV cache in this layer's KV format
+        # (kv="auto" follows the layer's own activation format, so an
+        # overridden layer's attention is priced at its override — the
+        # same semantics QuantRecipe.to_context gives the numeric path).
         for rows, ctx in groups:
-            layer += _time(GemmShape(rows, ctx, arch.dim), kv_fmt)
-            layer += _time(GemmShape(rows, arch.dim, ctx), kv_fmt)
+            layer += _time(GemmShape(rows, ctx, arch.dim), layer_kv_fmt)
+            layer += _time(GemmShape(rows, arch.dim, ctx), layer_kv_fmt)
         return layer
 
     if cfg.layer_overrides:
@@ -296,7 +306,9 @@ def step_time(
         base_software = head_software = cfg.mxplus_software
         base_hardware = head_hardware = cfg.mxplus_hardware
 
-    base_layer = _layer_time(cfg.act_fmt, cfg.weight_fmt, base_software, base_hardware)
+    base_layer = _layer_time(
+        cfg.act_fmt, cfg.weight_fmt, kv_fmt, base_software, base_hardware
+    )
     total = base_layer * arch.n_layers
     if cfg.layer_overrides:
         spread = spread_layer_overrides(
@@ -308,6 +320,7 @@ def step_time(
                 memo[fmt] = _layer_time(
                     fmt,
                     fmt,
+                    cfg.kv_fmt or fmt,  # kv="auto" follows the override
                     cfg.mxplus_software and "+" in fmt,
                     cfg.mxplus_hardware and "+" in fmt,
                 )

@@ -11,9 +11,8 @@ prefill slowdown but only ~7% in the memory-bound decode stage.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from functools import lru_cache
 
-from .spec import FORMAT_BITS, GPUSpec
+from .spec import GPUSpec, format_storage_bits
 
 __all__ = ["GemmShape", "gemm_time", "matmul_breakdown"]
 
@@ -43,26 +42,9 @@ class GemmShape:
 
 
 def _storage_bits(fmt: str) -> float:
-    """Traffic bits/element: the calibrated table, falling back to the
-    format registry's own sideband accounting for formats (MXINT, NVFP4,
-    block-size variants, ...) the table does not pin. Memoized against the
-    registry version so ``register_format(..., overwrite=True)`` is seen."""
-    bits = FORMAT_BITS.get(fmt)
-    if bits is not None:
-        return bits
-    from ..core.registry import registry_version
-
-    return _registry_bits(fmt, registry_version())
-
-
-@lru_cache(maxsize=None)
-def _registry_bits(fmt: str, version: int) -> float:
-    from ..core.registry import get_format
-
-    try:
-        return float(get_format(fmt).bits_per_element())
-    except KeyError:
-        return 16.0
+    """Traffic bits/element for the GEMM bandwidth model; unknown names
+    price as bf16 (see :func:`repro.gpu.spec.format_storage_bits`)."""
+    return format_storage_bits(fmt, default=16.0)
 
 
 def gemm_time(

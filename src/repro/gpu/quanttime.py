@@ -22,27 +22,33 @@ from ..core.mxpp import MXFP4PlusPlus
 __all__ = ["measure_quantization_time", "quantization_time_table"]
 
 
-def _time_encoder(fmt, x: np.ndarray, repeats: int) -> float:
-    fmt.quantize_dequantize(x)  # warm-up
-    best = float("inf")
-    for _ in range(repeats):
-        t0 = time.perf_counter()
-        fmt.quantize_dequantize(x)
-        best = min(best, time.perf_counter() - t0)
-    return best
-
-
 def measure_quantization_time(
     tokens: int, dim: int = 4096, repeats: int = 3, seed: int = 0
 ) -> dict[str, float]:
-    """Seconds to quantize a (tokens, dim) activation, per format."""
+    """Seconds to quantize a (tokens, dim) activation, per format.
+
+    The formats are timed round-robin within each repeat (rather than one
+    tight loop per format) so that transient machine load degrades every
+    format in the same round instead of skewing a single one; the reported
+    time is the per-format minimum across rounds, which makes the
+    MXFP4-normalized ratios stable on shared/loaded CPUs.
+    """
     rng = np.random.default_rng(seed)
     x = rng.standard_normal((tokens, dim))
-    return {
-        "mxfp4": _time_encoder(MXFP4(), x, repeats),
-        "mxfp4+": _time_encoder(MXFP4Plus(), x, repeats),
-        "mxfp4++": _time_encoder(MXFP4PlusPlus(), x, repeats),
+    formats = {
+        "mxfp4": MXFP4(),
+        "mxfp4+": MXFP4Plus(),
+        "mxfp4++": MXFP4PlusPlus(),
     }
+    best = {name: float("inf") for name in formats}
+    for fmt in formats.values():  # warm-up
+        fmt.quantize_dequantize(x)
+    for _ in range(repeats):
+        for name, fmt in formats.items():
+            t0 = time.perf_counter()
+            fmt.quantize_dequantize(x)
+            best[name] = min(best[name], time.perf_counter() - t0)
+    return best
 
 
 def quantization_time_table(

@@ -9,8 +9,9 @@ at twice the dense rate (Section 5.2/6.2).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import lru_cache
 
-__all__ = ["GPUSpec", "RTX5090", "RTXA6000", "FORMAT_BITS"]
+__all__ = ["GPUSpec", "RTX5090", "RTXA6000", "FORMAT_BITS", "format_storage_bits"]
 
 #: storage bits per element for traffic accounting (incl. sidebands)
 FORMAT_BITS: dict[str, float] = {
@@ -27,6 +28,39 @@ FORMAT_BITS: dict[str, float] = {
     "mxfp4+-k64": 4.25,  # scale + BM-index bytes amortized over 64 elems
     "fp32": 32.0,
 }
+
+
+def format_storage_bits(fmt: str, default: float | None = None) -> float:
+    """Average storage bits per element for format name ``fmt``.
+
+    Prefers the calibrated :data:`FORMAT_BITS` sideband accounting;
+    formats absent from that table (MXINT, NVFP4, re-registered block
+    variants, ...) fall back to their encoder's ``bits_per_element()``,
+    memoized against the registry version so ``register_format(...,
+    overwrite=True)`` is seen. Unknown names raise ``KeyError`` unless
+    ``default`` is given. The one lookup both the GEMM traffic model
+    (:mod:`repro.gpu.kernels`) and the KV-cache footprint accounting
+    (:func:`repro.serve.kvcache.format_kv_bits`) share.
+    """
+    key = fmt.lower()
+    bits = FORMAT_BITS.get(key)
+    if bits is not None:
+        return bits
+    from ..core.registry import registry_version
+
+    try:
+        return _registry_storage_bits(key, registry_version())
+    except KeyError:
+        if default is None:
+            raise
+        return default
+
+
+@lru_cache(maxsize=None)
+def _registry_storage_bits(key: str, version: int) -> float:
+    from ..core.registry import get_format
+
+    return float(get_format(key).bits_per_element())
 
 
 @dataclass(frozen=True)

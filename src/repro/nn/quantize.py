@@ -82,9 +82,12 @@ class QuantContext:
         returns the per-layer derived context when one exists and ``self``
         otherwise, so uniform recipes pay nothing. With group-indexed
         overrides (``n_layer_groups == G``) and the model's ``n_layers``
-        supplied, physical block ``i`` resolves to group ``i*G // n``
-        — the exact inverse of the timing path's band spreading, so one
-        recipe means the same thing on the stand-in and the full model.
+        supplied, physical block ``i`` resolves to the group whose band
+        ``[g*n/G, (g+1)*n/G)`` contains it — ``g = (i*G + G-1) // n``,
+        the exact inverse of the timing path's
+        :func:`repro.gpu.inference.spread_layer_overrides` band rule even
+        when ``G`` does not divide ``n``, so one recipe means the same
+        thing on the stand-in and the full model.
         The LM head is *not* a layer — it follows :meth:`head_context`
         on the base context.
         """
@@ -94,7 +97,8 @@ class QuantContext:
             and n_layers
             and self.n_layer_groups != n_layers
         ):
-            layer_index = layer_index * self.n_layer_groups // n_layers
+            g = self.n_layer_groups
+            layer_index = (layer_index * g + g - 1) // n_layers
         return self.layer_overrides.get(layer_index, self)
 
     # ------------------------------------------------------------------

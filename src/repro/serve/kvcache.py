@@ -41,9 +41,7 @@ from its ``kv_token_budget`` argument when no cache is passed.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from functools import lru_cache
-
-from ..gpu.spec import FORMAT_BITS
+from ..gpu.spec import format_storage_bits
 from ..models.zoo import ArchSpec
 
 __all__ = ["PagedKVCache", "kv_token_bytes", "format_kv_bits"]
@@ -52,27 +50,14 @@ __all__ = ["PagedKVCache", "kv_token_bytes", "format_kv_bits"]
 def format_kv_bits(fmt: str) -> float:
     """Average storage bits per KV element for format name ``fmt``.
 
-    Prefers the calibrated :data:`repro.gpu.spec.FORMAT_BITS` sideband
-    accounting; formats absent from that table (MXINT, NVFP4, ...) fall
-    back to their encoder's ``bits_per_element()``, memoized against the
-    registry version so re-registered formats are re-read.
+    Delegates to :func:`repro.gpu.spec.format_storage_bits` — the shared
+    calibrated-table-then-registry lookup — with unknown names raising
+    ``KeyError``.
 
     >>> format_kv_bits("bf16"), format_kv_bits("mxfp4"), format_kv_bits("mxfp4+")
     (16.0, 4.25, 4.5)
     """
-    key = fmt.lower()
-    if key in FORMAT_BITS:
-        return FORMAT_BITS[key]
-    from ..core.registry import registry_version
-
-    return _registry_kv_bits(key, registry_version())
-
-
-@lru_cache(maxsize=None)
-def _registry_kv_bits(key: str, version: int) -> float:
-    from ..core.registry import get_format
-
-    return float(get_format(key).bits_per_element())
+    return format_storage_bits(fmt)
 
 
 def kv_token_bytes(arch: ArchSpec, recipe_or_fmt) -> float:
@@ -81,15 +66,33 @@ def kv_token_bytes(arch: ArchSpec, recipe_or_fmt) -> float:
     One token keeps a key and a value vector (``n_kv_heads * head_dim``
     each) per layer; the per-element width comes from the recipe's
     resolved KV format (:attr:`repro.serve.QuantRecipe.kv_format`) or a
-    plain format name.
+    plain format name. For a mixed-precision recipe with ``kv="auto"``
+    the cache is stored per layer in that layer's own format (the
+    ``QuantRecipe.to_context`` semantics), so the per-token bytes sum
+    layer-by-layer over the spread overrides; an explicit ``kv=`` pins
+    every layer.
 
     >>> from repro.models.zoo import ARCHS
     >>> kv_token_bytes(ARCHS["llama-2-13b"], "bf16")
     819200.0
     """
     fmt = getattr(recipe_or_fmt, "kv_format", recipe_or_fmt)
-    bits = format_kv_bits(str(fmt))
-    return 2.0 * arch.n_layers * arch.n_kv_heads * arch.head_dim * bits / 8.0
+    per_layer_bytes = 2.0 * arch.n_kv_heads * arch.head_dim / 8.0
+    overrides = getattr(recipe_or_fmt, "layer_overrides", ())
+    if overrides:
+        from ..gpu.inference import spread_layer_overrides
+        from .recipe import AUTO
+
+        if getattr(recipe_or_fmt, "kv", None) == AUTO:
+            spread = spread_layer_overrides(
+                tuple(overrides),
+                getattr(recipe_or_fmt, "n_layer_groups", 0),
+                arch.n_layers,
+            )
+            return per_layer_bytes * sum(
+                format_kv_bits(str(spread.get(i, fmt))) for i in range(arch.n_layers)
+            )
+    return per_layer_bytes * arch.n_layers * format_kv_bits(str(fmt))
 
 
 @dataclass

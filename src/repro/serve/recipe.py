@@ -357,7 +357,13 @@ class QuantRecipe:
         return base
 
     def to_serving_config(self):
-        """Adapt to the timing path: a :class:`repro.gpu.inference.ServingConfig`."""
+        """Adapt to the timing path: a :class:`repro.gpu.inference.ServingConfig`.
+
+        ``kv="auto"`` is passed through as the empty ``kv_fmt`` sentinel
+        (not eagerly resolved to the base activation format) so that
+        ``step_time`` can let an overridden layer's attention operands
+        follow that layer's own format — mirroring :meth:`to_context`.
+        """
         from ..gpu.inference import ServingConfig
 
         return ServingConfig(
@@ -367,7 +373,7 @@ class QuantRecipe:
             mxplus_software=self.integration == "software",
             mxplus_hardware=self.integration == "hardware",
             min_tile_m=self.min_tile_m,
-            kv_fmt=self.kv_format,
+            kv_fmt="" if self.kv == AUTO else self.kv,
             lm_head_fmt=self.weight if self.lm_head == AUTO else self.lm_head,
             layer_overrides=self.layer_overrides,
             n_layer_groups=self.n_layer_groups,

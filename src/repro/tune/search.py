@@ -33,7 +33,7 @@ import numpy as np
 from ..serve.recipe import BF16, QuantRecipe
 from .cost import CostModel, RecipeCost
 from .frontier import FrontierPoint, ParetoFrontier
-from .sensitivity import SensitivityReport
+from .sensitivity import DEFAULT_KV_PROFILE_FORMATS, SensitivityReport
 
 __all__ = [
     "DEFAULT_LADDER",
@@ -56,7 +56,10 @@ DEFAULT_LADDER = (
 )
 
 #: KV-path ladder: storage formats for the attention/KV-cache operands.
-KV_LADDER = ("mxfp8", "mxfp6", "mxfp4+", "mxfp4", "mxfp4-k64")
+#: Aliases the sensitivity profiler's default KV ladder so that a report
+#: from ``profile_sensitivity()`` covers every cell the searchers read
+#: when both sides run with their own defaults.
+KV_LADDER = DEFAULT_KV_PROFILE_FORMATS
 
 
 @dataclass
@@ -164,6 +167,25 @@ class _Evaluator:
         return point
 
 
+def _resolve_ladders(
+    report: SensitivityReport, ladder: tuple | None, kv_ladder: tuple | None
+) -> tuple[tuple, tuple]:
+    """Default unset ladders to what the report actually profiled.
+
+    ``None`` (the searchers' default) resolves to the report's own
+    ladders — ``bf16`` plus its layer formats, and its KV ladder — so a
+    search with default arguments composes with *any* profiler
+    configuration instead of crashing on unprofiled cells. For the
+    all-defaults report this reproduces :data:`DEFAULT_LADDER` /
+    :data:`KV_LADDER` exactly.
+    """
+    if ladder is None:
+        ladder = (BF16,) + tuple(report.formats)
+    if kv_ladder is None:
+        kv_ladder = tuple(report.role_formats("kv"))
+    return tuple(ladder), tuple(kv_ladder)
+
+
 def _slots(report: SensitivityReport, ladder: tuple, kv_ladder: tuple) -> list:
     slots = [(f"layer:{i}", tuple(ladder)) for i in range(report.n_layers)]
     slots.append(("lm_head", tuple(ladder)))
@@ -179,8 +201,8 @@ def greedy_bit_descent(
     cost_model: CostModel,
     measure_ppl,
     frontier: ParetoFrontier | None = None,
-    ladder: tuple = DEFAULT_LADDER,
-    kv_ladder: tuple = KV_LADDER,
+    ladder: tuple | None = None,
+    kv_ladder: tuple | None = None,
     max_ppl: float | None = None,
     ppl_eps: float = 1e-6,
 ) -> ParetoFrontier:
@@ -196,6 +218,7 @@ def greedy_bit_descent(
     """
     frontier = frontier if frontier is not None else ParetoFrontier()
     ev = _Evaluator(report, cost_model, measure_ppl, frontier, origin="greedy")
+    ladder, kv_ladder = _resolve_ladders(report, ladder, kv_ladder)
     slots = _slots(report, ladder, kv_ladder)
     rungs = {role: 0 for role, _ in slots}
 
@@ -266,8 +289,8 @@ def evolutionary_search(
     cost_model: CostModel,
     measure_ppl,
     frontier: ParetoFrontier | None = None,
-    ladder: tuple = DEFAULT_LADDER,
-    kv_ladder: tuple = KV_LADDER,
+    ladder: tuple | None = None,
+    kv_ladder: tuple | None = None,
     seed: int = 0,
     population: int = 24,
     generations: int = 8,
@@ -286,6 +309,7 @@ def evolutionary_search(
     """
     frontier = frontier if frontier is not None else ParetoFrontier()
     ev = _Evaluator(report, cost_model, measure_ppl, frontier, origin="evolution")
+    ladder, kv_ladder = _resolve_ladders(report, ladder, kv_ladder)
     slots = _slots(report, ladder, kv_ladder)
     widths = [len(steps) for _, steps in slots]
     rng = np.random.default_rng(seed)

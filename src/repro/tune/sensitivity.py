@@ -36,6 +36,7 @@ __all__ = [
     "probe_recipe",
     "profile_sensitivity",
     "DEFAULT_PROFILE_FORMATS",
+    "DEFAULT_KV_PROFILE_FORMATS",
 ]
 
 #: formats profiled by default: the MX ladder the tuner searches over.
@@ -44,6 +45,19 @@ DEFAULT_PROFILE_FORMATS = (
     "mxfp6+",
     "mxfp4+",
     "mxfp4+-k64",
+    "mxfp4",
+    "mxfp4-k64",
+)
+
+#: KV-role ladder profiled by default. Kept identical to the searchers'
+#: ``repro.tune.search.KV_LADDER`` (which aliases this tuple) so that a
+#: report from ``profile_sensitivity()`` with default arguments covers
+#: every cell ``greedy_bit_descent``/``evolutionary_search`` read with
+#: *their* default ``kv_ladder``.
+DEFAULT_KV_PROFILE_FORMATS = (
+    "mxfp8",
+    "mxfp6",
+    "mxfp4+",
     "mxfp4",
     "mxfp4-k64",
 )
@@ -83,7 +97,14 @@ class SensitivityReport:
         """Measured perplexity with only ``role`` in format ``fmt``."""
         if fmt == BF16:
             return self.baseline_ppl
-        return self.cells[role][fmt]
+        try:
+            return self.cells[role][fmt]
+        except KeyError:
+            raise KeyError(
+                f"role {role!r} was not profiled under {fmt!r} "
+                f"(profiled: {sorted(self.cells.get(role, {}))}); re-run "
+                f"profile_sensitivity with a matching ladder"
+            ) from None
 
     def delta(self, role: str, fmt: str) -> float:
         """Perplexity increase attributable to quantizing ``role`` alone."""
@@ -103,8 +124,16 @@ class SensitivityReport:
         )
 
     def ranked_roles(self, fmt: str) -> list[tuple[str, float]]:
-        """Roles sorted most-sensitive-first by their delta under ``fmt``."""
-        pairs = [(role, self.delta(role, fmt)) for role in self.roles]
+        """Roles sorted most-sensitive-first by their delta under ``fmt``.
+
+        Roles whose ladder was not profiled under ``fmt`` (the KV role
+        has its own ladder) are omitted rather than raising.
+        """
+        pairs = [
+            (role, self.delta(role, fmt))
+            for role in self.roles
+            if fmt == BF16 or fmt in self.cells.get(role, {})
+        ]
         return sorted(pairs, key=lambda rf: (-rf[1], rf[0]))
 
     # ------------------------------------------------------------------
@@ -181,16 +210,28 @@ def profile_sensitivity(
     """Measure (or load) the per-role sensitivity grid.
 
     Layer and LM-head roles are profiled under ``formats``; the KV role
-    under ``kv_formats`` (defaulting to ``formats``) — the searchers draw
-    the KV slot from its own ladder, so profiling the cross product would
-    spend real model evaluations on cells nothing reads. Each cell is one
+    under ``kv_formats`` — defaulting to
+    :data:`DEFAULT_KV_PROFILE_FORMATS` (the searchers' KV ladder) when
+    ``formats`` is also the default, and to ``formats`` otherwise, so
+    both all-defaults and custom-same-ladder compositions with the
+    searchers cover every cell they read. The searchers draw the KV slot
+    from its own ladder, so profiling the cross product would spend real
+    model evaluations on cells nothing reads. Each cell is one
     perplexity evaluation of the real model on its held-out corpus,
     seeded and deterministic. With ``cache`` the grid persists next to
     the trained model weights and partial results are reused cell by
     cell, so an interrupted profile resumes instead of restarting.
     """
     formats = tuple(dict.fromkeys(formats))  # stable de-dup
-    kv_formats = tuple(dict.fromkeys(kv_formats)) if kv_formats else formats
+    if kv_formats:
+        kv_formats = tuple(dict.fromkeys(kv_formats))
+    elif formats == DEFAULT_PROFILE_FORMATS:
+        # all-defaults composition: match the searchers' default KV_LADDER
+        kv_formats = DEFAULT_KV_PROFILE_FORMATS
+    else:
+        # a custom `formats` without an explicit KV ladder keeps the
+        # follow-`formats` behavior, so custom same-ladder searches work
+        kv_formats = formats
     profile = PROFILES[model]
     lm = load_model(model)
     corpus = get_corpus(profile.corpus, profile.train_tokens)

@@ -134,6 +134,16 @@ def test_mxpp_never_worse_than_mxplus(x):
 @given(finite_arrays, st.sampled_from([MXFP4, MXFP6, MXFP8]))
 @settings(max_examples=40, deadline=None)
 def test_mx_pow2_equivariance(x, factory):
+    """Scaling by a power of two only shifts the shared exponent.
+
+    Holds only while the shifted exponent stays inside the E8M0 clamp
+    range [-127, 127]; at the boundary the spec-mandated clamp breaks
+    equivariance (e.g. float32-subnormal inputs under MXFP8). Flush
+    sub-2^-100 magnitudes to zero to keep every block's shared exponent
+    (max |x| exponent minus emax <= 8, plus 3 for the x8) well in range —
+    zeros quantize to zero under any scale, so they stay equivariant.
+    """
+    x = np.where(np.abs(x) < 2.0**-100, 0.0, x)
     fmt = factory()
     np.testing.assert_allclose(fmt(x * 8.0), fmt(x) * 8.0, rtol=1e-12)
 

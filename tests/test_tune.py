@@ -153,8 +153,9 @@ class TestRecipeOverrides:
         )
 
     def test_group_spread_layer_context(self):
-        # Physical block i of an n-layer model resolves to group i*G // n —
-        # the inverse of the timing path's band spreading.
+        # Physical block i of an n-layer model resolves to the group whose
+        # band [g*n/G, (g+1)*n/G) contains it — the exact inverse of the
+        # timing path's band spreading.
         r = QuantRecipe("m", act="mxfp4", weight="mxfp4",
                         layer_overrides={1: "mxfp4+"}, n_layer_groups=2)
         qc = r.to_context()
@@ -165,6 +166,23 @@ class TestRecipeOverrides:
         assert qc.layer_context(3, n_layers=4).act.name == "mxfp4+"
         # matching layer count: identity mapping
         assert qc.layer_context(1, n_layers=2).act.name == "mxfp4+"
+
+    def test_group_spread_layer_context_non_divisible(self):
+        # When G does not divide n, the numeric path must still agree with
+        # spread_layer_overrides layer for layer (3 layers, 2 groups:
+        # group 1's band is [1, 3), so layers 1 AND 2 carry the override).
+        from repro.gpu.inference import spread_layer_overrides
+
+        r = QuantRecipe("m", act="mxfp4", weight="mxfp4",
+                        layer_overrides={1: "mxfp4+"}, n_layer_groups=2)
+        qc = r.to_context()
+        for n_layers in (3, 5, 7):
+            spread = spread_layer_overrides(r.layer_overrides, 2, n_layers)
+            for i in range(n_layers):
+                ctx = qc.layer_context(i, n_layers=n_layers)
+                assert (ctx.act.name == "mxfp4+") == (i in spread), (
+                    f"layer {i}/{n_layers}: numeric and timing paths disagree"
+                )
 
     def test_to_context_builds_layer_contexts(self):
         r = QuantRecipe("m", act="mxfp4", weight="mxfp4",
