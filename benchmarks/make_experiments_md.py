@@ -52,6 +52,10 @@ BENCHMARK_INDEX: dict[str, tuple[str, str]] = {
     "test_serving_cluster.py": (
         "§7 serving", "paged-KV capacity, prefix caching, multi-replica cluster"
     ),
+    "test_scheduler_policies.py": (
+        "§7 serving",
+        "chunked prefill vs prefill-first p99 TTFT, BF16 vs MX+ page budgets",
+    ),
     "test_tune_frontier.py": (
         "beyond the paper",
         "autotuned per-layer mixed-precision recipe Pareto frontier",
@@ -543,6 +547,38 @@ def main() -> None:
             "strictly more concurrent requests at equal page budget; prefix "
             "caching cuts mean TTFT ~2x on the chat workload; the 1-replica "
             "cluster reconciles exactly with the single engine.",
+        )
+
+    sp = load("scheduler_policies")
+    if sp:
+        rows = []
+        for recipe, policies in sp["policies"].items():
+            for sched, v in policies.items():
+                rows.append(
+                    f"- {recipe} / {sched}: p99 TTFT {f(v['p99_ttft_ms'], 1)} ms, "
+                    f"mean TTFT {f(v['mean_ttft_ms'], 1)} ms, TPOT "
+                    f"{f(v['mean_tpot_ms'], 2)} ms, {f(v['throughput_tok_s'], 0)} tok/s"
+                )
+        rows.append(
+            "- chunking win (p99 TTFT, prefill-first / chunked): "
+            + ", ".join(
+                f"{k} {f(v, 3)}x" for k, v in sp["chunking_win_p99"].items()
+            )
+        )
+        section(
+            L,
+            "§7 serving — scheduler policies on bursty long prompts "
+            f"({sp['page_budget_gib']} GiB pages)",
+            "Sarathi-style chunked prefill removes prefill head-of-line "
+            "blocking: decodes and KV page turnover keep flowing during "
+            "prompt processing, so tail TTFT improves at equal page budget; "
+            "decode-priority brackets the other extreme (best TPOT, worst "
+            "queueing tail).",
+            rows,
+            "Reproduced: chunked prefill strictly improves p99 TTFT and "
+            "throughput for both formats; the win is larger for MX+ because "
+            "its 4.5-bit KV pages keep a whole decode batch resident where "
+            "BF16 degenerates toward serial service.",
         )
 
     tf = load("tune_frontier")

@@ -1,0 +1,103 @@
+"""Scheduler policy benchmark: chunked prefill vs prefill-first (and the
+decode-priority bracket) on a bursty long-prompt workload at equal page
+budget, BF16 vs MX+.
+
+The policy story the discrete-event core exists to tell: under bursts of
+long prompts, a prefill-first scheduler head-of-line-blocks every decode
+behind each burst's prompt processing — finished-prefill requests wait
+for their first token, running requests stall mid-generation, pages stay
+pinned longer, and the tail TTFT stretches. Chunked prefill co-schedules
+prompt chunks with decodes, so first tokens and page turnover keep
+flowing: p99 TTFT strictly improves for *both* formats. The win is
+bigger for MX+ because its 4.5-bit KV pages fit ~3.6x the concurrent
+requests of BF16 at the same byte budget — BF16 degenerates toward
+serial service (almost nothing to co-schedule), while MX+ has a whole
+decode batch to protect. Decode-priority (never interrupt decodes)
+brackets the space from the other side: best TPOT, worst queueing TTFT.
+"""
+
+from _util import print_table, run_once, save_result
+
+from repro.models.zoo import ARCHS
+from repro.serve import ServingCluster, long_prompt_workload
+
+ARCH = ARCHS["llama-2-13b"]
+GIB = 1 << 30
+PAGE_BUDGET = 1 * GIB  # tight on purpose: concurrency is the contended resource
+BLOCK_TOKENS = 16
+N_REQUESTS = 40
+RECIPES = ("bf16", "mxfp4+")
+SCHEDULERS = ("prefill-first", "chunked-prefill", "decode-priority")
+
+
+def _serve(recipe: str, scheduler: str):
+    cluster = ServingCluster(
+        ARCH,
+        recipe,
+        n_replicas=1,
+        page_budget_bytes=PAGE_BUDGET,
+        block_tokens=BLOCK_TOKENS,
+        scheduler=scheduler,
+    )
+    fleet = cluster.run(long_prompt_workload(N_REQUESTS))
+    replica = fleet.replica_results[0]
+    return {
+        "p99_ttft_ms": fleet.p99_ttft_s() * 1e3,
+        "mean_ttft_ms": fleet.mean_ttft_s * 1e3,
+        "mean_tpot_ms": fleet.mean_tpot_s * 1e3,
+        "throughput_tok_s": fleet.throughput_tok_s,
+        "makespan_ms": fleet.makespan_s * 1e3,
+        "preemptions": fleet.preemptions,
+        "peak_running": fleet.peak_running,
+        "n_mixed_steps": replica.n_mixed_steps,
+    }
+
+
+def test_scheduler_policies(benchmark):
+    def run():
+        out = {
+            "page_budget_gib": PAGE_BUDGET // GIB,
+            "block_tokens": BLOCK_TOKENS,
+            "n_requests": N_REQUESTS,
+            "policies": {
+                recipe: {sched: _serve(recipe, sched) for sched in SCHEDULERS}
+                for recipe in RECIPES
+            },
+        }
+        out["chunking_win_p99"] = {
+            recipe: out["policies"][recipe]["prefill-first"]["p99_ttft_ms"]
+            / out["policies"][recipe]["chunked-prefill"]["p99_ttft_ms"]
+            for recipe in RECIPES
+        }
+        return out
+
+    table = run_once(benchmark, run)
+    for recipe in RECIPES:
+        print_table(
+            f"Scheduler policies ({recipe}, {table['page_budget_gib']} GiB pages)",
+            table["policies"][recipe],
+        )
+    print_table("Chunking win (p99 TTFT ratio)", table["chunking_win_p99"])
+
+    # Assertions come before save_result so a failing run can never
+    # overwrite the committed artifact.
+    for recipe in RECIPES:
+        rows = table["policies"][recipe]
+        # Chunked prefill strictly improves p99 TTFT at equal page budget.
+        assert rows["chunked-prefill"]["p99_ttft_ms"] < rows["prefill-first"]["p99_ttft_ms"]
+        # ... and decodes riding along raise throughput too.
+        assert rows["chunked-prefill"]["throughput_tok_s"] > rows["prefill-first"]["throughput_tok_s"]
+        # Chunked steps really are mixed (co-scheduled) batches.
+        assert rows["chunked-prefill"]["n_mixed_steps"] > 0
+        assert rows["prefill-first"]["n_mixed_steps"] == 0
+        # Decode-priority brackets the other side: never stalling decodes
+        # gives the best TPOT and the worst queueing tail.
+        assert rows["decode-priority"]["mean_tpot_ms"] <= rows["prefill-first"]["mean_tpot_ms"]
+        assert rows["decode-priority"]["p99_ttft_ms"] > rows["prefill-first"]["p99_ttft_ms"]
+
+    # MX+ fits ~3.6x BF16's requests per page budget, so chunking has a
+    # whole decode batch to protect — the larger chunking win (the
+    # format-capacity argument showing up at the scheduler level).
+    assert table["chunking_win_p99"]["mxfp4+"] > table["chunking_win_p99"]["bf16"]
+
+    save_result("scheduler_policies", table)

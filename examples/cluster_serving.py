@@ -1,36 +1,51 @@
 """Scale-out serving walkthrough: paged KV, workloads, and a cluster.
 
-Shows the three layers added on top of `ServingEngine`:
+Shows the layers added on top of `ServingEngine`:
  1. `PagedKVCache.from_byte_budget` — the recipe's KV format sets how
     many tokens (and hence requests) fit one replica's page budget;
  2. `workload` generators — seeded bursty traffic and the shared-prefix
     chat scenario, plus JSONL trace replay;
- 3. `ServingCluster` — N replicas behind a router, with fleet metrics
-    including goodput under a latency SLO.
+ 3. `ServingCluster` — N replicas behind one global event loop and a
+    router, with fleet metrics including goodput under a latency SLO;
+ 4. pluggable schedulers (prefill-first / chunked-prefill /
+    decode-priority) and queue-depth autoscaling.
 
-Run:  python examples/cluster_serving.py
+Run:  python examples/cluster_serving.py [--scheduler chunked-prefill]
+(the CI scheduler matrix runs it once per policy)
 """
 
+import argparse
 import tempfile
 from pathlib import Path
 
 from repro.models.zoo import ARCHS
 from repro.serve import (
+    AutoscalePolicy,
     PagedKVCache,
     Request,
     ServingCluster,
     ServingEngine,
+    available_schedulers,
     chat_workload,
     get_recipe,
     kv_token_bytes,
     load_trace,
+    long_prompt_workload,
     make_workload,
     save_trace,
 )
 
+parser = argparse.ArgumentParser(description=__doc__)
+parser.add_argument(
+    "--scheduler", default="prefill-first", choices=available_schedulers(),
+    help="batch-composition policy used by every replica engine",
+)
+SCHED = parser.parse_args().scheduler
+
 arch = ARCHS["llama-2-13b"]
 GIB = 1 << 30
 BUDGET = 4 * GIB
+print(f"scheduler policy: {SCHED}\n")
 
 # ----------------------------------------------------------------------
 # 1. Format -> capacity: equal page budget, different KV formats.
@@ -42,7 +57,7 @@ burst = [Request(f"b{i}", prompt_len=512, max_new_tokens=32) for i in range(32)]
 for name in ["bf16", "mxfp8", "a-mxfp4+", "mxfp4+", "mxfp4"]:
     recipe = get_recipe(name)
     cache = PagedKVCache.from_byte_budget(BUDGET, arch, recipe, block_tokens=16)
-    result = ServingEngine(arch, recipe, kv_cache=cache).run(burst)
+    result = ServingEngine(arch, recipe, kv_cache=cache, scheduler=SCHED).run(burst)
     print(f"{name:>10s} {kv_token_bytes(arch, recipe) / 1024:9.0f} "
           f"{cache.capacity_tokens:13d} {result.peak_running:13d} "
           f"{result.preemptions:8d} {result.throughput_tok_s:8.0f}")
@@ -81,24 +96,57 @@ with tempfile.TemporaryDirectory() as tmp:
 # 4. Fleet: replicas x routers, goodput under SLO.
 # ----------------------------------------------------------------------
 reqs = make_workload(48, seed=1, arrival="bursty", rate_rps=400.0, burst_size=12)
-print("\nFleet scaling (MXFP4+, least-kv-load, bursty x48):")
+print(f"\nFleet scaling (MXFP4+, least-kv-load, {SCHED}, bursty x48):")
 for n in (1, 2, 4):
     fleet = ServingCluster(arch, "mxfp4+", n_replicas=n, router="least-kv-load",
-                           page_budget_bytes=BUDGET, block_tokens=16).run(reqs)
+                           page_budget_bytes=BUDGET, block_tokens=16,
+                           scheduler=SCHED).run(reqs)
     print(f"  {n} replica(s): {fleet.throughput_tok_s:6.0f} tok/s, "
           f"mean TTFT {fleet.mean_ttft_s * 1e3:6.1f} ms, "
           f"goodput@(TTFT<500ms) {fleet.goodput_tok_s(ttft_slo_s=0.5):6.0f} tok/s")
 
 print("\nRouters on the chat workload (4 replicas, 4 system prompts):")
 chat4 = chat_workload(48, n_prefixes=4, prefix_len=512, seed=3, rate_rps=60.0)
-for router in ("round-robin", "least-kv-load", "prefix-affinity"):
+for router in ("round-robin", "least-kv-load", "free-kv-at-arrival",
+               "queue-depth", "prefix-affinity"):
     fleet = ServingCluster(arch, "mxfp4+", n_replicas=4, router=router,
-                           page_budget_bytes=BUDGET, block_tokens=16).run(chat4)
+                           page_budget_bytes=BUDGET, block_tokens=16,
+                           scheduler=SCHED).run(chat4)
     hits = sum(r.kv["prefix_hits"] for r in fleet.replica_results)
     misses = sum(r.kv["prefix_misses"] for r in fleet.replica_results)
-    print(f"  {router:>15s}: {hits:2d} prefix hits / {misses:2d} misses, "
+    print(f"  {router:>18s}: {hits:2d} prefix hits / {misses:2d} misses, "
           f"mean TTFT {fleet.mean_ttft_s * 1e3:5.1f} ms")
 
 print("""
 prefix-affinity pins each system prompt to one replica, so the fleet
-stores it once and every follow-up turn hits the cached pages.""")
+stores it once and every follow-up turn hits the cached pages; the
+queue-depth and free-kv-at-arrival routers decide from the replicas'
+*live* state at each request's arrival instant.""")
+
+# ----------------------------------------------------------------------
+# 5. Schedulers and autoscaling on the bursty long-prompt stress case.
+# ----------------------------------------------------------------------
+stress = long_prompt_workload(32)
+print("Scheduler policies (MXFP4+, 1 GiB pages, bursty long prompts x32):")
+for sched in available_schedulers():
+    fleet = ServingCluster(arch, "mxfp4+", n_replicas=1,
+                           page_budget_bytes=1 * GIB, block_tokens=16,
+                           scheduler=sched).run(stress)
+    print(f"  {sched:>16s}: p99 TTFT {fleet.p99_ttft_s() * 1e3:7.1f} ms, "
+          f"mean TPOT {fleet.mean_tpot_s * 1e3:5.2f} ms, "
+          f"{fleet.throughput_tok_s:5.0f} tok/s")
+
+policy = AutoscalePolicy(max_replicas=4, scale_up_queue_depth=3)
+fleet = ServingCluster(arch, "mxfp4+", n_replicas=1,
+                       page_budget_bytes=1 * GIB, block_tokens=16,
+                       scheduler=SCHED, autoscale=policy).run(stress)
+ups = sum(1 for e in fleet.autoscale_events if e[1] == "scale-up")
+print(f"\nAutoscale (queue depth >= 3, max 4): grew to {fleet.n_replicas} "
+      f"replicas ({ups} scale-ups), p99 TTFT {fleet.p99_ttft_s() * 1e3:.1f} ms, "
+      f"{fleet.throughput_tok_s:.0f} tok/s")
+
+print("""
+chunked prefill co-schedules prompt chunks with decodes, so first tokens
+and page turnover keep flowing through each burst — the p99 TTFT win
+over prefill-first; decode-priority shows the opposite trade. Autoscaling
+turns the same queue pressure into replicas instead.""")

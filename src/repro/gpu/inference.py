@@ -171,14 +171,27 @@ def spread_layer_overrides(
     return spread
 
 
-def _merge_groups(row_groups: Iterable[tuple[int, int]]) -> list[tuple[int, int]]:
-    """Merge (rows, ctx) groups sharing a context length (order-stable)."""
-    merged: dict[int, int] = {}
-    for rows, ctx in row_groups:
+def _merge_groups(row_groups: Iterable[tuple]) -> list[tuple[int, int, str]]:
+    """Merge row groups sharing ``(ctx, kind)`` (order-stable).
+
+    Accepts ``(rows, ctx)`` pairs (legacy, kind ``""``) and
+    ``(rows, ctx, kind)`` triples. Groups of *different* kinds never
+    merge: a mixed scheduler step tags prompt-chunk rows ``"prefill"``
+    and token-generation rows ``"decode"``, and their attention products
+    are priced as separate kernels (the way real serving stacks run a
+    varlen prefill kernel next to a decode kernel), so
+    ``[(5, c, "prefill"), (1, c, "decode")]`` is *not* the same step as
+    the pure batch ``[(6, c)]`` — and must not share its memo entry.
+    """
+    merged: dict[tuple[int, str], int] = {}
+    for group in row_groups:
+        rows, ctx = group[0], group[1]
+        kind = group[2] if len(group) > 2 else ""
         if rows <= 0:
             continue
-        merged[ctx] = merged.get(ctx, 0) + rows
-    return [(rows, ctx) for ctx, rows in merged.items()]
+        key = (ctx, kind)
+        merged[key] = merged.get(key, 0) + rows
+    return [(rows, ctx, kind) for (ctx, kind), rows in merged.items()]
 
 
 # Step-time memo: a multi-replica cluster replays the same (spec, arch,
@@ -229,21 +242,28 @@ def step_time(
 ) -> float:
     """Matmul seconds for one scheduler step over ``row_groups``.
 
-    ``row_groups`` is a list of ``(rows, ctx)`` pairs: ``rows`` token rows
-    attending over a KV context of ``ctx`` tokens. The linear projections
-    and the LM head batch across all groups (they only see total rows);
-    the attention score/value products run per distinct context length.
-    A uniform batch — one group — reproduces the classic per-forward cost,
-    so :func:`simulate_inference` totals and
+    ``row_groups`` is a list of ``(rows, ctx)`` pairs — ``rows`` token
+    rows attending over a KV context of ``ctx`` tokens — or, for *mixed*
+    prefill+decode batches, ``(rows, ctx, kind)`` triples where ``kind``
+    is ``"prefill"`` (a prompt chunk) or ``"decode"`` (single-token
+    generation rows). The linear projections and the LM head batch across
+    all groups (they only see total rows); the attention score/value
+    products run per distinct ``(ctx, kind)`` group, so a chunked-prefill
+    step co-scheduling a prompt chunk with decodes at the same context
+    prices two attention kernels, not one merged GEMM. A uniform batch —
+    one group — reproduces the classic per-forward cost, so
+    :func:`simulate_inference` totals and
     :class:`repro.serve.ServingEngine` accounting agree exactly.
 
     Results are memoized on the full (spec, arch, cfg, merged groups)
     key — replicas of a :class:`repro.serve.ServingCluster` that hit the
-    same step shape pay the roofline evaluation once.
+    same step shape pay the roofline evaluation once. The kind tag is
+    part of the key, so a mixed batch can never collide with the
+    pure-decode (or legacy untagged) batch of the same merged shape.
     """
     cfg = as_serving_config(cfg)
     groups = _merge_groups(row_groups)
-    m = sum(rows for rows, _ in groups)
+    m = sum(rows for rows, _, _ in groups)
     if m == 0:
         return 0.0
     global _step_cache_hits, _step_cache_misses
@@ -287,7 +307,7 @@ def step_time(
         # (kv="auto" follows the layer's own activation format, so an
         # overridden layer's attention is priced at its override — the
         # same semantics QuantRecipe.to_context gives the numeric path).
-        for rows, ctx in groups:
+        for rows, ctx, _kind in groups:
             layer += _time(GemmShape(rows, ctx, arch.dim), layer_kv_fmt)
             layer += _time(GemmShape(rows, arch.dim, ctx), layer_kv_fmt)
         return layer

@@ -30,20 +30,43 @@ Quickstart::
 
 from .recipe import QuantRecipe, available_recipes, get_recipe, register_recipe
 from .kvcache import PagedKVCache, format_kv_bits, kv_token_bytes
-from .engine import Request, Response, ServingEngine, ServingResult
+from .engine import (
+    Request,
+    Response,
+    ServingEngine,
+    ServingResult,
+    StepEvent,
+    arrival_order,
+    validate_batch,
+)
+from .sched import (
+    ChunkedPrefillScheduler,
+    DecodePriorityScheduler,
+    PrefillFirstScheduler,
+    SCHEDULERS,
+    Scheduler,
+    StepPlan,
+    available_schedulers,
+    get_scheduler,
+)
 from .workload import (
     LengthDist,
     bursty_arrivals,
     chat_workload,
     load_trace,
+    long_prompt_workload,
     make_workload,
     poisson_arrivals,
     save_trace,
 )
 from .cluster import (
+    AutoscalePolicy,
     FleetResult,
+    FreeKVAtArrivalRouter,
     LeastKVLoadRouter,
     PrefixAffinityRouter,
+    QueueDepthRouter,
+    ReplicaSnapshot,
     ROUTERS,
     RoundRobinRouter,
     Router,
@@ -64,20 +87,36 @@ __all__ = [
     "Response",
     "ServingResult",
     "ServingEngine",
+    "StepEvent",
+    "validate_batch",
+    "arrival_order",
+    "Scheduler",
+    "StepPlan",
+    "PrefillFirstScheduler",
+    "ChunkedPrefillScheduler",
+    "DecodePriorityScheduler",
+    "SCHEDULERS",
+    "available_schedulers",
+    "get_scheduler",
     "LengthDist",
     "poisson_arrivals",
     "bursty_arrivals",
     "make_workload",
     "chat_workload",
+    "long_prompt_workload",
     "save_trace",
     "load_trace",
     "Router",
     "RoundRobinRouter",
     "LeastKVLoadRouter",
     "PrefixAffinityRouter",
+    "QueueDepthRouter",
+    "FreeKVAtArrivalRouter",
+    "ReplicaSnapshot",
     "ROUTERS",
     "available_routers",
     "get_router",
+    "AutoscalePolicy",
     "FleetResult",
     "ServingCluster",
 ]

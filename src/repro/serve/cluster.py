@@ -1,20 +1,37 @@
-"""Cluster layer: N serving replicas behind a pluggable router.
+"""Cluster layer: N serving replicas behind one time-coherent event loop.
 
 :class:`ServingCluster` scales the single-replica
-:class:`repro.serve.ServingEngine` out to a fleet: requests are routed to
-one of ``n_replicas`` identical engines (same arch/recipe/GPU, each with
-its own paged KV cache), every replica runs its continuous-batching loop
-in virtual time, and the :class:`FleetResult` aggregates per-replica and
-fleet-level TTFT / TPOT / throughput / goodput-under-SLO.
+:class:`repro.serve.ServingEngine` out to a fleet — and, unlike a
+shard-then-simulate batch harness, it is a *discrete-event simulation*:
+one global loop advances replicas in virtual-time order through the
+engine's ``submit()/peek_next_event()/step()`` API, and every request is
+routed **at its arrival instant** against the live state of the fleet at
+that moment (per-replica queue depth, free KV pages, clocks). Fleet
+metrics are therefore time-coherent: a replica's events interleave with
+arrivals exactly as they would on one shared timeline.
 
 Routers are deterministic and pluggable (``ROUTERS`` registry):
 
-* ``"round-robin"`` — i-th request (in arrival order) to replica ``i % N``;
-* ``"least-kv-load"`` — to the replica with the fewest committed KV
-  tokens (prompt + output budget), ties broken by lowest replica index;
+* ``"round-robin"`` — i-th request (in arrival order) to the i-th live
+  replica, cycling;
+* ``"least-kv-load"`` — to the replica with the fewest *committed* KV
+  tokens (prompt + output budget of everything assigned so far), ties
+  broken by lowest replica index — a static policy that never observes
+  completions;
 * ``"prefix-affinity"`` — requests sharing a ``prefix_id`` stick to the
   replica that first saw that prefix (so its KV pages are reused);
-  prefix-less requests fall back to least-KV-load.
+  prefix-less requests fall back to least-KV-load;
+* ``"queue-depth"`` — to the replica with the fewest unfinished
+  requests (waiting + running) *at the arrival instant*;
+* ``"free-kv-at-arrival"`` — to the replica whose paged KV cache has
+  the most free tokens *at the arrival instant*. Where least-kv-load
+  keeps charging long-finished requests, this router sees the live
+  allocator state, so the two diverge as soon as load shifts mid-trace.
+
+An optional :class:`AutoscalePolicy` hook scales the fleet between
+events: when every live replica's queue is deep, a fresh replica is
+added (up to ``max_replicas``); idle replicas beyond ``min_replicas``
+are retired once drained. Retired replicas keep their results.
 
 With one replica and no shared prefixes the cluster reproduces the
 single-engine result *exactly* — the reconciliation anchor that lets
@@ -40,21 +57,55 @@ import numpy as np
 
 from ..gpu.spec import GPUSpec, RTX5090
 from ..models.zoo import ArchSpec
-from .engine import Request, Response, ServingEngine, ServingResult
+from .engine import (
+    Request,
+    Response,
+    ServingEngine,
+    ServingResult,
+    arrival_order,
+)
 from .kvcache import PagedKVCache
 from .recipe import QuantRecipe
 
 __all__ = [
+    "ReplicaSnapshot",
     "Router",
     "RoundRobinRouter",
     "LeastKVLoadRouter",
     "PrefixAffinityRouter",
+    "QueueDepthRouter",
+    "FreeKVAtArrivalRouter",
     "ROUTERS",
     "available_routers",
     "get_router",
+    "AutoscalePolicy",
     "FleetResult",
     "ServingCluster",
 ]
+
+
+@dataclass(frozen=True)
+class ReplicaSnapshot:
+    """Live state of one replica, as a router observes it at an arrival.
+
+    Replica state changes only at step boundaries, so the snapshot
+    reflects the last step completed at or before the routing instant
+    (or, when a step spans the arrival, the state the replica will
+    expose at its next scheduling boundary — the earliest moment it
+    could act on the new request anyway).
+    """
+
+    index: int  # replica index (stable across the run)
+    clock: float  # the replica's virtual clock
+    n_running: int
+    n_waiting: int
+    free_kv_tokens: int
+    capacity_kv_tokens: int
+
+    @property
+    def queue_depth(self) -> int:
+        """Unfinished requests on the replica (waiting + running)."""
+        return self.n_running + self.n_waiting
 
 
 class Router:
@@ -62,7 +113,11 @@ class Router:
 
     Routers see requests one at a time, sorted by arrival, and must be
     deterministic — equal inputs yield equal assignments, and all
-    tie-breaks resolve to the lowest replica index.
+    tie-breaks resolve to the lowest replica index. ``route`` receives
+    the live :class:`ReplicaSnapshot` list for the routable replicas at
+    the arrival instant; routers that predate the event loop (or direct
+    calls in tests) may be invoked without snapshots and fall back to
+    their static behavior over ``range(n_replicas)``.
     """
 
     name = "base"
@@ -77,44 +132,66 @@ class Router:
         """Return to the initial state; called before every cluster run
         so router instances behave like freshly-built ones."""
 
-    def route(self, request: Request) -> int:  # pragma: no cover - interface
+    def resize(self, n_replicas: int) -> None:
+        """Adapt to a fleet of ``n_replicas`` (autoscaling)."""
+        if n_replicas < 1:
+            raise ValueError("n_replicas must be >= 1")
+        self.n_replicas = n_replicas
+
+    def _indices(self, replicas: list[ReplicaSnapshot] | None) -> list[int]:
+        if replicas is not None:
+            return [s.index for s in replicas]
+        return list(range(self.n_replicas))
+
+    def route(
+        self, request: Request, replicas: list[ReplicaSnapshot] | None = None
+    ) -> int:  # pragma: no cover - interface
         raise NotImplementedError
 
 
 class RoundRobinRouter(Router):
-    """Cycle through replicas in arrival order."""
+    """Cycle through the live replicas in arrival order."""
 
     name = "round-robin"
 
     def reset(self) -> None:
-        self._next = 0
+        self._pos = 0
 
-    def route(self, request: Request) -> int:
-        replica = self._next
-        self._next = (self._next + 1) % self.n_replicas
+    def route(self, request, replicas=None) -> int:
+        indices = self._indices(replicas)
+        replica = indices[self._pos % len(indices)]
+        self._pos += 1
         return replica
 
 
 class LeastKVLoadRouter(Router):
-    """Send to the replica with the fewest committed KV tokens.
+    """Send to the replica with the fewest *committed* KV tokens.
 
     Load is the sum of ``prompt_len + max_new_tokens`` over assigned
-    requests — the KV tokens a request will eventually pin. Ties break
-    to the lowest replica index, so assignment is deterministic.
+    requests — the KV tokens a request will eventually pin. The counter
+    is never decremented (the router does not observe completions), so
+    this is the static baseline that ``free-kv-at-arrival`` improves on.
+    Ties break to the lowest replica index, so assignment is
+    deterministic.
     """
 
     name = "least-kv-load"
 
     def reset(self) -> None:
-        self.loads = [0] * self.n_replicas
+        self.loads: dict[int, int] = {}
 
-    def _least_loaded(self) -> int:
-        return min(range(self.n_replicas), key=lambda i: (self.loads[i], i))
+    def _least_loaded(self, indices: list[int]) -> int:
+        return min(indices, key=lambda i: (self.loads.get(i, 0), i))
 
-    def route(self, request: Request) -> int:
-        replica = self._least_loaded()
-        self.loads[replica] += request.prompt_len + request.max_new_tokens
+    def route(self, request, replicas=None) -> int:
+        replica = self._least_loaded(self._indices(replicas))
+        self._charge(replica, request)
         return replica
+
+    def _charge(self, replica: int, request: Request) -> None:
+        self.loads[replica] = (
+            self.loads.get(replica, 0) + request.prompt_len + request.max_new_tokens
+        )
 
 
 class PrefixAffinityRouter(LeastKVLoadRouter):
@@ -124,6 +201,8 @@ class PrefixAffinityRouter(LeastKVLoadRouter):
     least-loaded replica; every later request with that prefix follows
     it (a prefix scattered across replicas would be stored N times and
     hit only 1/N of the time). Prefix-less requests use least-KV-load.
+    If the pinned replica was retired by autoscaling, the prefix is
+    re-homed to the least-loaded live replica.
     """
 
     name = "prefix-affinity"
@@ -132,19 +211,80 @@ class PrefixAffinityRouter(LeastKVLoadRouter):
         super().reset()
         self._homes: dict[str, int] = {}
 
-    def route(self, request: Request) -> int:
+    def route(self, request, replicas=None) -> int:
         if request.prefix_id is None:
-            return super().route(request)
+            return super().route(request, replicas)
+        indices = self._indices(replicas)
         replica = self._homes.get(request.prefix_id)
-        if replica is None:
-            replica = self._homes[request.prefix_id] = self._least_loaded()
-        self.loads[replica] += request.prompt_len + request.max_new_tokens
+        if replica is None or replica not in indices:
+            replica = self._homes[request.prefix_id] = self._least_loaded(indices)
+        self._charge(replica, request)
+        return replica
+
+
+class QueueDepthRouter(Router):
+    """Send to the replica with the shallowest queue at the arrival
+    instant (waiting + running, live), ties to the lowest index.
+
+    Without snapshots (direct calls outside the event loop) it falls
+    back to counting its own assignments — join-shortest-queue degrades
+    to least-assigned when completions cannot be observed.
+    """
+
+    name = "queue-depth"
+
+    def reset(self) -> None:
+        self._assigned: dict[int, int] = {}
+
+    def route(self, request, replicas=None) -> int:
+        if replicas is not None:
+            replica = min(replicas, key=lambda s: (s.queue_depth, s.index)).index
+        else:
+            replica = min(
+                range(self.n_replicas), key=lambda i: (self._assigned.get(i, 0), i)
+            )
+        self._assigned[replica] = self._assigned.get(replica, 0) + 1
+        return replica
+
+
+class FreeKVAtArrivalRouter(Router):
+    """Send to the replica whose KV cache has the most free tokens at
+    the arrival instant, ties to the lowest index.
+
+    The live counterpart of ``least-kv-load``: it sees pages already
+    released by finished requests and pages pinned by cached prefixes,
+    so it diverges from the static router whenever load shifts over the
+    trace. Without snapshots it falls back to the static committed-load
+    heuristic.
+    """
+
+    name = "free-kv-at-arrival"
+
+    def reset(self) -> None:
+        self._loads: dict[int, int] = {}
+
+    def route(self, request, replicas=None) -> int:
+        if replicas is not None:
+            replica = min(replicas, key=lambda s: (-s.free_kv_tokens, s.index)).index
+        else:
+            replica = min(
+                range(self.n_replicas), key=lambda i: (self._loads.get(i, 0), i)
+            )
+        self._loads[replica] = (
+            self._loads.get(replica, 0) + request.prompt_len + request.max_new_tokens
+        )
         return replica
 
 
 ROUTERS: dict[str, type[Router]] = {
     cls.name: cls
-    for cls in (RoundRobinRouter, LeastKVLoadRouter, PrefixAffinityRouter)
+    for cls in (
+        RoundRobinRouter,
+        LeastKVLoadRouter,
+        PrefixAffinityRouter,
+        QueueDepthRouter,
+        FreeKVAtArrivalRouter,
+    )
 }
 
 
@@ -152,7 +292,7 @@ def available_routers() -> list[str]:
     """Sorted names of the registered routing policies.
 
     >>> available_routers()
-    ['least-kv-load', 'prefix-affinity', 'round-robin']
+    ['free-kv-at-arrival', 'least-kv-load', 'prefix-affinity', 'queue-depth', 'round-robin']
     """
     return sorted(ROUTERS)
 
@@ -170,6 +310,47 @@ def get_router(name_or_router, n_replicas: int) -> Router:
     return ROUTERS[key](n_replicas)
 
 
+@dataclass(frozen=True)
+class AutoscalePolicy:
+    """Scale the fleet on live queue depth, consulted between events.
+
+    At every arrival instant the cluster asks :meth:`target` for the
+    desired live-replica count given the fleet snapshots. The default
+    rule: when *every* live replica's queue depth is at least
+    ``scale_up_queue_depth``, grow by one (new replicas start with a
+    cold KV cache); when more than one replica is completely idle and
+    the fleet exceeds ``min_replicas``, retire one drained replica.
+    Retired replicas keep their results, and their indices are never
+    reused. Subclass and override :meth:`target` for custom rules.
+    """
+
+    max_replicas: int = 8
+    min_replicas: int = 1
+    scale_up_queue_depth: int = 4
+    scale_down: bool = True
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.min_replicas <= self.max_replicas:
+            raise ValueError("need 1 <= min_replicas <= max_replicas")
+        if self.scale_up_queue_depth < 1:
+            raise ValueError("scale_up_queue_depth must be >= 1")
+
+    def target(self, snapshots: list[ReplicaSnapshot]) -> int:
+        """Desired live replica count for the given fleet state."""
+        n = len(snapshots)
+        if n < self.max_replicas and n and min(
+            s.queue_depth for s in snapshots
+        ) >= self.scale_up_queue_depth:
+            return n + 1
+        if (
+            self.scale_down
+            and n > self.min_replicas
+            and sum(1 for s in snapshots if s.queue_depth == 0) > 1
+        ):
+            return n - 1
+        return n
+
+
 @dataclass
 class FleetResult:
     """Fleet outcome: per-replica results + cluster-level accounting."""
@@ -178,6 +359,8 @@ class FleetResult:
     replica_results: list[ServingResult]
     assignments: dict[str, int]  # request_id -> replica index
     router: str = ""
+    scheduler: str = ""
+    autoscale_events: list = field(default_factory=list)  # (time, action, index)
 
     @property
     def n_replicas(self) -> int:
@@ -281,14 +464,14 @@ class FleetResult:
 
 
 class ServingCluster:
-    """N identical serving replicas behind one routing policy.
+    """N identical serving replicas behind one global event loop.
 
     Parameters
     ----------
     arch, recipe, spec:
         As for :class:`ServingEngine`; all replicas share them.
     n_replicas:
-        Fleet size.
+        Initial fleet size (autoscaling may grow it per run).
     router:
         Router name (see :func:`available_routers`) or instance.
     kv_token_budget:
@@ -301,6 +484,13 @@ class ServingCluster:
         fit — the MX+ capacity win.
     max_batch, model:
         Forwarded to every replica engine.
+    scheduler:
+        Batch-composition policy for every replica (name or
+        :class:`~repro.serve.sched.Scheduler` instance); see
+        :func:`repro.serve.sched.available_schedulers`.
+    autoscale:
+        Optional :class:`AutoscalePolicy` consulted at every arrival;
+        replicas added per run start cold and are discarded afterwards.
     """
 
     def __init__(
@@ -315,6 +505,8 @@ class ServingCluster:
         page_budget_bytes: float | None = None,
         block_tokens: int = 16,
         model=None,
+        scheduler="prefill-first",
+        autoscale: AutoscalePolicy | None = None,
     ) -> None:
         if n_replicas < 1:
             raise ValueError("n_replicas must be >= 1")
@@ -325,32 +517,98 @@ class ServingCluster:
         self.spec = spec
         self.n_replicas = n_replicas
         self._router_spec = router
-        self.engines = []
-        for _ in range(n_replicas):
-            if page_budget_bytes is not None:
-                cache = PagedKVCache.from_byte_budget(
-                    page_budget_bytes, arch, recipe, block_tokens=block_tokens
-                )
-            else:
-                cache = PagedKVCache.from_token_budget(kv_token_budget)
-            self.engines.append(
-                ServingEngine(
-                    arch, recipe, spec=spec, max_batch=max_batch,
-                    model=model, kv_cache=cache,
-                )
+        self._scheduler_spec = scheduler
+        self._kv_token_budget = kv_token_budget
+        self._page_budget_bytes = page_budget_bytes
+        self._block_tokens = block_tokens
+        self._max_batch = max_batch
+        self._model = model
+        self.autoscale = autoscale
+        self.engines = [self._make_engine() for _ in range(n_replicas)]
+
+    def _make_engine(self) -> ServingEngine:
+        """One replica: fresh paged cache, shared arch/recipe/GPU."""
+        if self._page_budget_bytes is not None:
+            cache = PagedKVCache.from_byte_budget(
+                self._page_budget_bytes,
+                self.arch,
+                self.recipe,
+                block_tokens=self._block_tokens,
             )
+        else:
+            cache = PagedKVCache.from_token_budget(self._kv_token_budget)
+        from copy import deepcopy
+
+        from .sched import get_scheduler
+
+        scheduler = self._scheduler_spec
+        if not isinstance(scheduler, str):
+            # Engine steps interleave in the global event loop, so replicas
+            # must not share one (potentially stateful) scheduler instance —
+            # each replica gets a deep copy, configuration included.
+            scheduler = deepcopy(get_scheduler(scheduler))
+        return ServingEngine(
+            self.arch,
+            self.recipe,
+            spec=self.spec,
+            max_batch=self._max_batch,
+            model=self._model,
+            kv_cache=cache,
+            scheduler=scheduler,
+        )
 
     @property
     def capacity_tokens_per_replica(self) -> int:
         """KV tokens one replica can hold (page count x page size)."""
         return self.engines[0].kv_cache.capacity_tokens
 
-    def run(self, requests: list[Request]) -> FleetResult:
-        """Route ``requests``, run every replica, aggregate the fleet.
+    @staticmethod
+    def _snapshot(engine: ServingEngine, index: int) -> ReplicaSnapshot:
+        return ReplicaSnapshot(
+            index=index,
+            clock=engine.clock,
+            n_running=engine.n_running,
+            n_waiting=engine.n_waiting,
+            free_kv_tokens=engine.free_kv_tokens,
+            capacity_kv_tokens=engine.kv_cache.capacity_tokens,
+        )
 
-        Routing happens in arrival order (ties by input position); each
-        replica then serves its share with the usual continuous-batching
-        loop. Responses come back in input order.
+    def _apply_autoscale(
+        self,
+        replicas: list[ServingEngine],
+        live: list[int],
+        router: Router,
+        t_arr: float,
+        events: list,
+    ) -> None:
+        """Grow/retire live replicas toward the policy's target count."""
+        snaps = [self._snapshot(replicas[j], j) for j in live]
+        target = self.autoscale.target(snaps)
+        while len(live) < target:
+            replicas.append(self._make_engine())
+            live.append(len(replicas) - 1)
+            router.resize(len(replicas))
+            events.append((t_arr, "scale-up", len(replicas) - 1))
+        if len(live) > target:
+            # Retire drained replicas only (highest index first): requests
+            # in flight are never migrated.
+            for j in sorted(live, reverse=True):
+                if len(live) <= target:
+                    break
+                if not replicas[j].has_work():
+                    live.remove(j)
+                    events.append((t_arr, "scale-down", j))
+
+    def run(self, requests: list[Request]) -> FleetResult:
+        """Serve ``requests`` through the global virtual-time event loop.
+
+        The loop repeatedly takes the earliest event: the next request
+        arrival (routed immediately against live replica snapshots, ties
+        to the lowest replica index) or the earliest replica step. A
+        replica whose step begins before an arrival executes first — the
+        scheduling decision at that instant cannot see the future — so
+        the whole fleet shares one coherent timeline. Responses come
+        back in input order.
         """
         router = get_router(self._router_spec, self.n_replicas)
         if router.n_replicas != self.n_replicas:
@@ -359,25 +617,58 @@ class ServingCluster:
                 f"cluster has {self.n_replicas}"
             )
         router.reset()  # instances passed in must behave like fresh ones
-        order = {r.request_id: i for i, r in enumerate(requests)}
-        if len(order) != len(requests):
-            raise ValueError("duplicate request_id in batch")
+        pending = arrival_order(requests)  # validates duplicate ids too
+        replicas = list(self.engines)  # autoscaling appends; base fleet stays
+        live = list(range(len(replicas)))
+        for engine in replicas:
+            engine.begin_run()
         assignments: dict[str, int] = {}
-        for req in sorted(requests, key=lambda r: (r.arrival_s, order[r.request_id])):
-            replica = router.route(req)
-            if not 0 <= replica < self.n_replicas:
-                raise ValueError(
-                    f"router {router.name!r} returned invalid replica {replica}"
-                )
-            assignments[req.request_id] = replica
-        # Each replica sees its requests in original input order, exactly
+        autoscale_events: list = []
+        i = 0
+        try:
+            while i < len(pending) or any(e.has_work() for e in replicas):
+                t_arr = pending[i].arrival_s if i < len(pending) else None
+                candidates = [
+                    (t, idx)
+                    for idx, engine in enumerate(replicas)
+                    if (t := engine.peek_next_event()) is not None
+                ]
+                t_eng = min(candidates)[0] if candidates else None
+                if t_arr is not None and (t_eng is None or t_arr <= t_eng):
+                    # Arrival event: consult the autoscaler, then route
+                    # against the live fleet at this instant.
+                    request = pending[i]
+                    i += 1
+                    if self.autoscale is not None:
+                        self._apply_autoscale(
+                            replicas, live, router, t_arr, autoscale_events
+                        )
+                    snaps = [self._snapshot(replicas[j], j) for j in live]
+                    replica = router.route(request, snaps)
+                    if replica not in live:
+                        raise ValueError(
+                            f"router {router.name!r} returned invalid replica "
+                            f"{replica} (live: {live})"
+                        )
+                    assignments[request.request_id] = replica
+                    replicas[replica].submit(request)
+                else:
+                    # Step event: advance the replica with the earliest
+                    # next event (ties to the lowest index).
+                    _, idx = min(candidates)
+                    replicas[idx].step()
+        finally:
+            for engine in replicas:
+                engine.abort()
+            router.resize(self.n_replicas)  # reusable instance: undo growth
+        # Each replica reports its shard in original input order, exactly
         # as a standalone engine would (reconciliation at n_replicas=1).
         shards = [
-            [r for r in requests if assignments[r.request_id] == i]
-            for i in range(self.n_replicas)
+            [r for r in requests if assignments[r.request_id] == j]
+            for j in range(len(replicas))
         ]
         results = [
-            engine.run(shard) for engine, shard in zip(self.engines, shards)
+            engine.collect(shard) for engine, shard in zip(replicas, shards)
         ]
         by_id = {
             resp.request_id: resp for res in results for resp in res.responses
@@ -387,4 +678,6 @@ class ServingCluster:
             replica_results=results,
             assignments=assignments,
             router=router.name,
+            scheduler=replicas[0].scheduler.name,
+            autoscale_events=autoscale_events,
         )

@@ -1,4 +1,5 @@
-"""Request-level serving front-end: continuous batching over the simulator.
+"""Request-level serving front-end: a discrete-event continuous-batching
+engine over the simulator.
 
 :class:`ServingEngine` turns the per-forward kernel-time model of
 :mod:`repro.gpu.inference` into an LLM *serving* loop: clients submit
@@ -7,11 +8,24 @@ continuous-batching scheduler admits and evicts them against a KV-cache
 token budget, and each request comes back as a :class:`Response` with
 per-request latency accounting (TTFT / TPOT / end-to-end).
 
-Scheduling follows the vLLM-style iteration loop: whenever waiting
-requests fit the KV cache a *prefill step* runs for just those requests;
-otherwise one *decode step* advances every running request by one token.
-When decode growth overflows the cache, the most recently admitted
-request is preempted and re-enters the queue for recomputation.
+The engine is an incremental event loop, not a batch function:
+``submit()`` enqueues a request (requests can arrive while others are in
+flight), ``peek_next_event()`` reports the next virtual instant the
+engine can act, and ``step()`` advances one scheduler iteration —
+returning a :class:`StepEvent` record. ``run()`` wraps the three into
+the classic serve-a-batch-to-completion call. A
+:class:`repro.serve.ServingCluster` drives many engines through the same
+API in global virtual-time order.
+
+*What runs in a step* is delegated to a pluggable
+:class:`repro.serve.sched.Scheduler` (``scheduler=`` accepts a policy
+name or instance). The default ``"prefill-first"`` policy reproduces the
+vLLM-style loop this engine originally hard-coded — byte-identical
+artifacts — while ``"chunked-prefill"`` splits long prompts into
+token-budget chunks co-scheduled with decodes (no head-of-line
+blocking), and ``"decode-priority"`` never interrupts decodes. When
+decode growth overflows the cache, the most recently admitted request is
+preempted and re-enters the queue for recomputation.
 
 KV memory goes through a :class:`repro.serve.kvcache.PagedKVCache`:
 block-granular allocation, byte-accurate page sizing per recipe, and
@@ -36,11 +50,26 @@ returns generated tokens, so accuracy and timing come from one API call.
 2
 >>> 0.0 < result.responses[0].ttft_s < result.responses[0].e2e_latency_s
 True
+
+Incremental use — submit mid-flight, observe events:
+
+>>> engine = ServingEngine(ARCHS["llama-2-13b"], "mxfp4+", kv_token_budget=4096)
+>>> engine.begin_run()
+>>> engine.submit(Request("a", prompt_len=128, max_new_tokens=2))
+>>> event = engine.step()  # prefill step for "a"
+>>> (event.n_prefill_rows, event.n_decode_rows)
+(128, 0)
+>>> engine.submit(Request("b", prompt_len=64, max_new_tokens=1,
+...                       arrival_s=engine.clock))
+>>> while engine.has_work():
+...     _ = engine.step()
+>>> sorted(engine.finished)
+['a', 'b']
 """
 
 from __future__ import annotations
 
-from collections import deque
+from bisect import insort
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -50,8 +79,17 @@ from ..gpu.spec import GPUSpec, RTX5090
 from ..models.zoo import ArchSpec
 from .kvcache import PagedKVCache
 from .recipe import QuantRecipe
+from .sched import Scheduler, StepPlan, get_scheduler
 
-__all__ = ["Request", "Response", "ServingResult", "ServingEngine"]
+__all__ = [
+    "Request",
+    "Response",
+    "ServingResult",
+    "StepEvent",
+    "ServingEngine",
+    "validate_batch",
+    "arrival_order",
+]
 
 
 @dataclass(frozen=True)
@@ -105,6 +143,32 @@ class Request:
             )
 
 
+def validate_batch(requests: list[Request]) -> dict[str, int]:
+    """Input-position map for a batch, rejecting duplicate request ids.
+
+    The one shared admission-validation helper: both
+    :meth:`ServingEngine.run` and :meth:`repro.serve.ServingCluster.run`
+    build their ordering from it.
+
+    >>> validate_batch([Request("a", prompt_len=1), Request("b", prompt_len=1)])
+    {'a': 0, 'b': 1}
+    """
+    order = {r.request_id: i for i, r in enumerate(requests)}
+    if len(order) != len(requests):
+        raise ValueError("duplicate request_id in batch")
+    return order
+
+
+def arrival_order(requests: list[Request]) -> list[Request]:
+    """Requests sorted by arrival time, ties broken by input position.
+
+    Validates via :func:`validate_batch` (duplicate ids raise) — the
+    canonical submission order for engines and for cluster routing.
+    """
+    order = validate_batch(requests)
+    return sorted(requests, key=lambda r: (r.arrival_s, order[r.request_id]))
+
+
 @dataclass
 class Response:
     """Per-request serving outcome with latency accounting."""
@@ -144,6 +208,7 @@ class ServingResult:
     makespan_s: float  # last finish time (virtual clock)
     n_prefill_steps: int = 0
     n_decode_steps: int = 0
+    n_mixed_steps: int = 0  # steps carrying both chunk and decode rows
     preemptions: int = 0
     peak_running: int = 0  # max concurrently decoding requests
     kv: dict = field(default_factory=dict)  # PagedKVCache.stats() snapshot
@@ -168,6 +233,11 @@ class ServingResult:
             return 0.0
         return float(np.mean([r.tpot_s for r in self.responses]))
 
+    def p99_ttft_s(self, q: float = 99.0) -> float:
+        if not self.responses:
+            return 0.0
+        return float(np.percentile([r.ttft_s for r in self.responses], q))
+
     def summary(self) -> dict[str, float]:
         return {
             "requests": len(self.responses),
@@ -189,11 +259,18 @@ class _Active:
 
     request: Request
     order: int  # admission sequence number (eviction picks the max)
+    seq: int = 0  # submission sequence number (arrival tie-break)
     generated: int = 0
     first_token_s: float = -1.0
     preemptions: int = 0
     cached: int = 0  # prefix tokens reused from the KV cache this admission
+    prefilled: int = 0  # prompt rows computed this admission (cached excluded)
+    admit_ctx: int = 0  # context tokens at admission (fixed until requeued)
     tokens: list = field(default_factory=list)  # numeric mode
+    # Queue position: (1, arrival, seq) for fresh requests; preemption
+    # victims get (0, -evict_tick, 0) so they sit at the queue head,
+    # most recent eviction first — the historical appendleft semantics.
+    queue_key: tuple = (1, 0.0, 0)
 
     @property
     def ctx(self) -> int:
@@ -204,9 +281,44 @@ class _Active:
     def done(self) -> bool:
         return self.generated >= self.request.max_new_tokens
 
+    @property
+    def prefill_tokens_needed(self) -> int:
+        """Context rows this admission must compute (>= 1 even on a full
+        prefix hit: the last token is recomputed to produce logits).
+        Fixed at admission — decode growth afterwards must not reopen the
+        prefill. Requeued preemption victims recompute their *full*
+        context — prompt plus the tokens already generated — but do not
+        regenerate the output tokens themselves."""
+        return max(1, self.admit_ctx - self.cached)
+
+    @property
+    def prefill_remaining(self) -> int:
+        return self.prefill_tokens_needed - self.prefilled
+
+    @property
+    def prefill_done(self) -> bool:
+        return self.prefill_remaining <= 0
+
+    def __lt__(self, other: "_Active") -> bool:  # insort support
+        return self.queue_key < other.queue_key
+
+
+@dataclass
+class StepEvent:
+    """What one :meth:`ServingEngine.step` did (a discrete event record)."""
+
+    t_start: float  # virtual time the step began
+    t_end: float  # virtual time the step completed (engine clock after)
+    kind: str  # "prefill" | "decode" | "mixed"
+    n_prefill_rows: int = 0
+    n_decode_rows: int = 0
+    admitted: list[str] = field(default_factory=list)
+    finished: list[str] = field(default_factory=list)
+    preempted: int = 0
+
 
 class ServingEngine:
-    """Continuous-batching serving loop over one :class:`QuantRecipe`.
+    """Discrete-event continuous-batching loop over one :class:`QuantRecipe`.
 
     Parameters
     ----------
@@ -235,6 +347,11 @@ class ServingEngine:
         count reflects the recipe's KV bytes/token). The cache's prefix
         store persists across ``run`` calls — a warm system-prompt cache
         carries over.
+    scheduler:
+        Batch-composition policy: a name from
+        :func:`repro.serve.sched.available_schedulers` or a
+        :class:`~repro.serve.sched.Scheduler` instance. The default
+        ``"prefill-first"`` reproduces the historical loop exactly.
     """
 
     def __init__(
@@ -246,6 +363,7 @@ class ServingEngine:
         max_batch: int = 256,
         model=None,
         kv_cache: PagedKVCache | None = None,
+        scheduler="prefill-first",
     ) -> None:
         if isinstance(recipe, str):
             recipe = QuantRecipe.from_name(recipe)
@@ -263,6 +381,7 @@ class ServingEngine:
         self.kv_token_budget = kv_cache.capacity_tokens
         self.max_batch = max_batch
         self.model = model
+        self.scheduler: Scheduler = get_scheduler(scheduler)
         self._qc = None
         if model is not None:
             if not isinstance(recipe, QuantRecipe):
@@ -274,116 +393,265 @@ class ServingEngine:
                     f"recipe name, got {type(recipe).__name__}"
                 )
             self._qc = recipe.to_context()
+        self.begin_run()
+
+    # -- event-loop state ----------------------------------------------
+    def begin_run(self) -> None:
+        """Reset per-run state (clock, queues, counters, responses).
+
+        The KV cache is *not* reset — warm shared prefixes carry over
+        between runs, exactly as before. Raises if requests are still in
+        flight (``run`` the engine dry, or ``abort`` first).
+        """
+        if getattr(self, "_running", None) or getattr(self, "_waiting", None):
+            raise RuntimeError("begin_run() with requests still in flight")
+        self._waiting: list[_Active] = []  # sorted by _Active.queue_key
+        self._running: list[_Active] = []
+        self.finished: dict[str, Response] = {}
+        self._known_ids: set[str] = set()
+        self.clock = 0.0
+        self._prefill_s = 0.0
+        self._decode_s = 0.0
+        self._n_prefill = 0
+        self._n_decode = 0
+        self._n_mixed = 0
+        self._preemptions = 0
+        self._peak_running = 0
+        self._submit_seq = 0
+        self._admit_seq = 0
+        self._evict_tick = 0
+        self.scheduler.reset()
+
+    def abort(self) -> None:
+        """Free the KV pages of every in-flight request (crash cleanup).
+
+        The cache persists across runs (warm prefixes); a run that dies
+        mid-flight must not leak its resident sequences' pages.
+        """
+        for state in self._running:
+            self.kv_cache.free(state.request.request_id)
+        self._running.clear()
+        self._waiting.clear()
+
+    # -- queue introspection (schedulers, routers, autoscalers) --------
+    @property
+    def running(self) -> list[_Active]:
+        """Admitted, unfinished requests in admission order (live view)."""
+        return self._running
+
+    @property
+    def waiting(self) -> list[_Active]:
+        """Queued requests in admission-priority order (live view)."""
+        return self._waiting
+
+    @property
+    def n_running(self) -> int:
+        return len(self._running)
+
+    @property
+    def n_waiting(self) -> int:
+        return len(self._waiting)
+
+    @property
+    def queue_depth(self) -> int:
+        """Unfinished requests on this engine (waiting + running)."""
+        return len(self._waiting) + len(self._running)
+
+    @property
+    def free_kv_tokens(self) -> int:
+        """KV tokens the paged cache could still hold right now."""
+        return self.kv_cache.free_tokens
+
+    def has_work(self) -> bool:
+        return bool(self._waiting or self._running)
+
+    # -- incremental event API -----------------------------------------
+    def submit(self, request: Request) -> None:
+        """Enqueue one request (callable while others are in flight).
+
+        Requests are ordered by ``(arrival_s, submission order)``;
+        preemption victims keep their place at the queue head. A request
+        that could never fit the KV cache is rejected immediately.
+        """
+        if request.request_id in self._known_ids:
+            raise ValueError(
+                f"duplicate request_id {request.request_id!r} in batch"
+            )
+        total = request.prompt_len + request.max_new_tokens
+        if total > self.kv_cache.capacity_tokens:
+            raise ValueError(
+                f"kv_token_budget={self.kv_cache.capacity_tokens} cannot hold "
+                f"the largest request ({total} tokens)"
+            )
+        self._known_ids.add(request.request_id)
+        state = _Active(request=request, order=-1, seq=self._submit_seq)
+        state.queue_key = (1, request.arrival_s, state.seq)
+        self._submit_seq += 1
+        insort(self._waiting, state)
+
+    def peek_next_event(self) -> float | None:
+        """Virtual time of the next instant the engine can act.
+
+        ``clock`` when anything is running or an arrived request waits;
+        the head arrival time when the engine is idle with only future
+        requests; ``None`` when fully drained. A cluster event loop uses
+        this to advance replicas in global virtual-time order.
+        """
+        if self._running:
+            return self.clock
+        if not self._waiting:
+            return None
+        head = self._waiting[0]
+        if head.queue_key[0] == 0 or head.request.arrival_s <= self.clock:
+            return self.clock  # preemption victims are always "arrived"
+        return head.request.arrival_s
+
+    def step(self) -> StepEvent | None:
+        """Advance one scheduler iteration; ``None`` when drained.
+
+        Jumps the clock over idle gaps, asks the scheduler to compose
+        the step (admission happens inside the scheduler's plan), prices
+        it with :func:`repro.gpu.inference.step_time`, and applies the
+        results: prefill progress, decode growth (with overflow
+        preemption), completions.
+        """
+        nxt = self.peek_next_event()
+        if nxt is None:
+            return None
+        if nxt > self.clock:  # idle engine: jump to the next arrival
+            self.clock = nxt
+        t_start = self.clock
+        plan = self.scheduler.plan(self)
+        admitted_ids = [
+            s.request.request_id for s, _ in plan.prefill if s.prefilled == 0
+        ]
+
+        preempted = 0
+        if plan.decode:
+            preempted = self._preempt_overflow(plan)
+        if plan.empty:
+            # A zero-duration step cannot make progress; returning would
+            # spin run()/the cluster loop forever. Unreachable with the
+            # built-in policies (they always cover `running`, and
+            # preemption cannot empty both plan lists while requests
+            # run) — this turns a buggy custom scheduler into a loud
+            # failure instead of a hang.
+            raise RuntimeError(
+                f"scheduler {self.scheduler.name!r} produced an empty step "
+                f"plan with {len(self._running)} running / "
+                f"{len(self._waiting)} waiting requests"
+            )
+
+        groups: list = []
+        for state, rows in plan.prefill:
+            ctx = min(state.admit_ctx, state.cached + state.prefilled + rows)
+            groups.append((rows, ctx, "prefill") if plan.tag_kinds else (rows, ctx))
+        for state in plan.decode:
+            groups.append(
+                (1, state.ctx, "decode") if plan.tag_kinds else (1, state.ctx)
+            )
+        t = step_time(self.spec, self.arch, self.cfg, groups)
+        self.clock += t
+
+        n_prefill_rows = sum(rows for _, rows in plan.prefill)
+        n_decode_rows = len(plan.decode)
+        if plan.prefill and plan.decode:
+            kind = "mixed"
+            self._n_mixed += 1
+            # Attribute mixed-step time to the stages by row share — the
+            # only decomposition that keeps prefill_s + decode_s == makespan
+            # without re-pricing the sub-batches separately.
+            share = n_prefill_rows / (n_prefill_rows + n_decode_rows)
+            self._prefill_s += t * share
+            self._decode_s += t * (1.0 - share)
+        elif plan.prefill:
+            kind = "prefill"
+            self._n_prefill += 1
+            self._prefill_s += t
+        else:
+            kind = "decode"
+            self._n_decode += 1
+            self._decode_s += t
+
+        for state, rows in plan.prefill:
+            state.prefilled += rows
+        finished_ids: list[str] = []
+        for state in plan.decode:
+            if self.model is not None and state.request.prompt_tokens is not None:
+                state.tokens.append(self._next_token(state))
+            self.kv_cache.append_token(state.request.request_id)
+            state.generated += 1
+            if state.first_token_s < 0:
+                state.first_token_s = self.clock
+        for state in [s for s in plan.decode if s.done]:
+            self._running.remove(state)
+            self.kv_cache.free(state.request.request_id)
+            self.finished[state.request.request_id] = self._response(state, self.clock)
+            finished_ids.append(state.request.request_id)
+        return StepEvent(
+            t_start=t_start,
+            t_end=self.clock,
+            kind=kind,
+            n_prefill_rows=n_prefill_rows,
+            n_decode_rows=n_decode_rows,
+            admitted=admitted_ids,
+            finished=finished_ids,
+            preempted=preempted,
+        )
 
     # ------------------------------------------------------------------
     def run(self, requests: list[Request]) -> ServingResult:
         """Serve ``requests`` to completion; responses keep input order."""
+        self.begin_run()
         if not requests:
             return ServingResult([], StageTimes(0.0, 0.0), 0.0)
-        order = {r.request_id: i for i, r in enumerate(requests)}
-        if len(order) != len(requests):
-            raise ValueError("duplicate request_id in batch")
-        largest = max(r.prompt_len + r.max_new_tokens for r in requests)
-        if largest > self.kv_cache.capacity_tokens:
-            raise ValueError(
-                f"kv_token_budget={self.kv_cache.capacity_tokens} cannot hold "
-                f"the largest request ({largest} tokens)"
-            )
-
-        waiting: deque[_Active] = deque(
-            _Active(request=r, order=-1)
-            for r in sorted(requests, key=lambda r: (r.arrival_s, order[r.request_id]))
-        )
-        running: list[_Active] = []
-        finished: dict[str, Response] = {}
-        clock = 0.0
-        prefill_s = decode_s = 0.0
-        n_prefill = n_decode = preemptions = 0
-        peak_running = 0
-        admit_seq = 0
-
         try:
-            while waiting or running:
-                # Idle engine: jump to the next arrival.
-                if not running and waiting and waiting[0].request.arrival_s > clock:
-                    clock = waiting[0].request.arrival_s
-
-                admitted = self._admit(waiting, running, clock)
-                if admitted:
-                    for state in admitted:
-                        state.order = admit_seq
-                        admit_seq += 1
-                    # Into `running` before timing, so an exception below
-                    # cannot strand their KV allocations (freed in the
-                    # finally block).
-                    running.extend(admitted)
-                    peak_running = max(peak_running, len(running))
-                    # Prefill step: all admitted prompts processed
-                    # together. Requeued requests recompute their full
-                    # context; prefix hits skip the cached tokens
-                    # (rows < ctx) but still attend over the full context.
-                    t = step_time(
-                        self.spec, self.arch, self.cfg,
-                        [(max(1, s.ctx - s.cached), s.ctx) for s in admitted],
-                    )
-                    clock += t
-                    prefill_s += t
-                    n_prefill += 1
-                    continue  # re-check admissions before the next decode
-
-                # Decode step: grow every running request by one token.
-                preemptions += self._preempt_overflow(waiting, running)
-                t = step_time(
-                    self.spec, self.arch, self.cfg,
-                    [(1, s.ctx) for s in running],
-                )
-                clock += t
-                decode_s += t
-                n_decode += 1
-                for state in running:
-                    if self.model is not None and state.request.prompt_tokens is not None:
-                        state.tokens.append(self._next_token(state))
-                    self.kv_cache.append_token(state.request.request_id)
-                    state.generated += 1
-                    if state.first_token_s < 0:
-                        state.first_token_s = clock
-                for state in [s for s in running if s.done]:
-                    running.remove(state)
-                    self.kv_cache.free(state.request.request_id)
-                    finished[state.request.request_id] = self._response(state, clock)
+            for request in arrival_order(requests):
+                self.submit(request)
+            while self.has_work():
+                self.step()
         finally:
-            # The cache persists across runs (warm prefixes); if this run
-            # died mid-flight its resident sequences must not leak pages.
-            for state in running:
-                self.kv_cache.free(state.request.request_id)
+            self.abort()
+        return self.collect(requests)
 
-        responses = [finished[r.request_id] for r in requests]
+    def collect(self, requests: list[Request]) -> ServingResult:
+        """Build the :class:`ServingResult` for a completed request set.
+
+        ``requests`` defines the response order (input order); every
+        request must have finished. Used by :meth:`run` and by the
+        cluster event loop after draining a replica.
+        """
+        if not requests:
+            return ServingResult([], StageTimes(0.0, 0.0), 0.0)
+        responses = [self.finished[r.request_id] for r in requests]
         return ServingResult(
             responses=responses,
-            stages=StageTimes(prefill_s=prefill_s, decode_s=decode_s),
-            makespan_s=clock,
-            n_prefill_steps=n_prefill,
-            n_decode_steps=n_decode,
-            preemptions=preemptions,
-            peak_running=peak_running,
+            stages=StageTimes(prefill_s=self._prefill_s, decode_s=self._decode_s),
+            makespan_s=self.clock,
+            n_prefill_steps=self._n_prefill,
+            n_decode_steps=self._n_decode,
+            n_mixed_steps=self._n_mixed,
+            preemptions=self._preemptions,
+            peak_running=self._peak_running,
             kv=self.kv_cache.stats(),
         )
 
     # ------------------------------------------------------------------
-    def _admit(
-        self, waiting: deque[_Active], running: list[_Active], clock: float
-    ) -> list[_Active]:
-        """Pop every waiting request that has arrived and fits the cache.
+    def admit_arrived(self) -> list[_Active]:
+        """Admit every waiting request that has arrived and fits the cache.
 
+        The scheduler-facing admission helper (commits KV allocations).
         Head-of-line semantics: admission stops at the first request the
         paged allocator rejects, so late arrivals never starve the head.
+        Admitted states join ``running`` immediately — an exception later
+        in the step cannot strand their KV pages (``abort`` frees them).
         """
         admitted: list[_Active] = []
-        while waiting and len(running) + len(admitted) < self.max_batch:
-            nxt = waiting[0]
-            if nxt.request.arrival_s > clock:
+        while self._waiting and len(self._running) < self.max_batch:
+            nxt = self._waiting[0]
+            if nxt.queue_key[0] != 0 and nxt.request.arrival_s > self.clock:
                 break
-            # Pure capacity probe first: _admit polls every scheduler
+            # Pure capacity probe first: admission polls every scheduler
             # iteration, and a blocked head must not inflate the
             # allocator's failed_allocations counter each decode step.
             if not self.kv_cache.can_allocate(
@@ -399,27 +667,47 @@ class ServingEngine:
             if cached is None:  # pragma: no cover - can_allocate said yes
                 break
             nxt.cached = cached
-            admitted.append(waiting.popleft())
+            nxt.prefilled = 0
+            nxt.admit_ctx = nxt.ctx
+            nxt.order = self._admit_seq
+            self._admit_seq += 1
+            self._waiting.pop(0)
+            self._running.append(nxt)
+            admitted.append(nxt)
+        if admitted:
+            self._peak_running = max(self._peak_running, len(self._running))
         return admitted
 
-    def _preempt_overflow(
-        self, waiting: deque[_Active], running: list[_Active]
-    ) -> int:
-        """Evict newest-admitted requests if the next decode would overflow."""
+    def _preempt_overflow(self, plan: StepPlan) -> int:
+        """Evict newest-admitted requests if the next decode would overflow.
+
+        Evicted victims leave ``running`` (and the step plan), lose their
+        KV pages — shared prefix pages stay cached for siblings via the
+        allocator's refcounts — and re-enter the queue head for
+        recomputation (re-admission is a prefix *hit* when the prefix
+        pages survived).
+        """
         evicted = 0
-        while len(running) > 1:
+        while len(self._running) > 1 and plan.decode:
             needed = self.kv_cache.append_blocks_needed(
-                s.request.request_id for s in running
+                s.request.request_id for s in plan.decode
             )
             if self.kv_cache.ensure_free(needed):
                 break
-            victim = max(running, key=lambda s: s.order)
-            running.remove(victim)
+            victim = max(self._running, key=lambda s: s.order)
+            self._running.remove(victim)
+            if victim in plan.decode:
+                plan.decode.remove(victim)
+            plan.prefill = [(s, rows) for s, rows in plan.prefill if s is not victim]
             self.kv_cache.free(victim.request.request_id)
             victim.preemptions += 1
             victim.cached = 0
-            waiting.appendleft(victim)  # recompute as soon as space frees up
+            victim.prefilled = 0
+            self._evict_tick += 1
+            victim.queue_key = (0, -self._evict_tick, 0)
+            insort(self._waiting, victim)  # queue head: recompute first
             evicted += 1
+        self._preemptions += evicted
         return evicted
 
     # ------------------------------------------------------------------

@@ -241,6 +241,12 @@ class PagedKVCache:
         return self.num_blocks - self.used_blocks
 
     @property
+    def free_tokens(self) -> int:
+        """Tokens the free pages could hold — the live capacity signal
+        the cluster's ``free-kv-at-arrival`` router observes."""
+        return self.free_blocks * self.block_tokens
+
+    @property
     def reclaimable_blocks(self) -> int:
         """Pages held by zero-reference cached prefixes (evictable)."""
         return sum(p.blocks for p in self._prefixes.values() if p.refs == 0)

@@ -45,6 +45,7 @@ __all__ = [
     "bursty_arrivals",
     "make_workload",
     "chat_workload",
+    "long_prompt_workload",
     "save_trace",
     "load_trace",
 ]
@@ -225,6 +226,37 @@ def chat_workload(
         )
         for i, r in enumerate(base)
     ]
+
+
+def long_prompt_workload(
+    n: int,
+    seed: int = 11,
+    rate_rps: float = 40.0,
+    burst_size: int = 8,
+    max_prompt: int = 1024,
+) -> list[Request]:
+    """The bursty long-prompt scenario: the scheduler stress case.
+
+    Bursts of requests with prompts drawn from a heavy long-prompt
+    distribution (median ``max_prompt // 2``) and real decode budgets —
+    the workload where a prefill-first scheduler head-of-line-blocks
+    decodes behind each burst's prompt processing, and where chunked
+    prefill earns its tail-TTFT win (benchmarks/test_scheduler_policies).
+    ``max_prompt`` caps the prompt length so the trace stays admissible
+    at tight page budgets.
+    """
+    return make_workload(
+        n,
+        seed=seed,
+        arrival="bursty",
+        rate_rps=rate_rps,
+        burst_size=burst_size,
+        prompt=LengthDist.lognormal(
+            median=max_prompt // 2, sigma=0.5, low=128, high=max_prompt
+        ),
+        output=LengthDist.uniform(32, 96),
+        id_prefix="lp",
+    )
 
 
 # ----------------------------------------------------------------------

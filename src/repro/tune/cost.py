@@ -76,6 +76,18 @@ class CostModel:
     whatever the recipe's KV format fits (capped by ``max_batch``), decode
     runs at the mid-generation context length, and each output token
     amortizes its share of the prefill.
+
+    ``scheduler`` names the batch-composition policy of the serving core
+    the price models (see :func:`repro.serve.sched.available_schedulers`):
+
+    * ``"prefill-first"`` (default) and ``"decode-priority"`` amortize a
+      dedicated full-batch prefill over the output tokens — the classic
+      alternating steady state (identical formulas: at steady state both
+      policies run the same dedicated-step mix);
+    * ``"chunked-prefill"`` prices the Sarathi-style steady state: every
+      decode step also carries the batch's incoming prompt rows as a
+      tagged chunk, priced by ``step_time``'s mixed-batch path (chunk and
+      decode attention kernels separate).
     """
 
     arch: ArchSpec
@@ -84,6 +96,15 @@ class CostModel:
     prompt_len: int = 512
     output_len: int = 128
     max_batch: int = 256
+    scheduler: str = "prefill-first"
+
+    def __post_init__(self) -> None:
+        if self.scheduler not in (
+            "prefill-first",
+            "decode-priority",
+            "chunked-prefill",
+        ):
+            raise KeyError(f"unknown scheduler {self.scheduler!r} for CostModel")
 
     # ------------------------------------------------------------------
     def concurrency(self, recipe) -> int:
@@ -107,7 +128,24 @@ class CostModel:
             recipe,
             [(concurrency * self.prompt_len, self.prompt_len)],
         )
-        per_token = decode + prefill / self.output_len
+        if self.scheduler == "chunked-prefill":
+            # Steady state under chunked prefill: each decode step also
+            # carries the prompt rows entering the batch per generated
+            # token (one admission per completion), co-scheduled as a
+            # tagged chunk — the mixed-batch price replaces the dedicated
+            # prefill step entirely.
+            chunk_rows = -(-concurrency * self.prompt_len // self.output_len)
+            per_token = step_time(
+                self.spec,
+                self.arch,
+                recipe,
+                [
+                    (concurrency, mid_ctx, "decode"),
+                    (chunk_rows, self.prompt_len, "prefill"),
+                ],
+            )
+        else:
+            per_token = decode + prefill / self.output_len
         return RecipeCost(
             recipe_name=recipe.name,
             tokens_per_s=concurrency / per_token,
@@ -124,7 +162,7 @@ class CostModel:
         return recipe
 
     def to_dict(self) -> dict:
-        return {
+        out = {
             "arch": self.arch.name,
             "gpu": self.spec.name,
             "page_budget_bytes": self.page_budget_bytes,
@@ -132,3 +170,8 @@ class CostModel:
             "output_len": self.output_len,
             "max_batch": self.max_batch,
         }
+        if self.scheduler != "prefill-first":
+            # The default is omitted so pre-scheduler frontier artifacts
+            # (benchmarks/results/tune_frontier.json) stay byte-identical.
+            out["scheduler"] = self.scheduler
+        return out

@@ -33,7 +33,13 @@ def _requests(n=8, prompt=128, out=8):
 
 class TestRouters:
     def test_registry(self):
-        assert available_routers() == ["least-kv-load", "prefix-affinity", "round-robin"]
+        assert available_routers() == [
+            "free-kv-at-arrival",
+            "least-kv-load",
+            "prefix-affinity",
+            "queue-depth",
+            "round-robin",
+        ]
         assert isinstance(get_router("round-robin", 2), RoundRobinRouter)
         router = LeastKVLoadRouter(3)
         assert get_router(router, 3) is router

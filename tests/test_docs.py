@@ -16,6 +16,7 @@ import repro.serve.cluster
 import repro.serve.engine
 import repro.serve.kvcache
 import repro.serve.recipe
+import repro.serve.sched
 import repro.serve.workload
 import repro.tune.cost
 import repro.tune.frontier
@@ -28,6 +29,7 @@ DOCTEST_MODULES = [
     repro.serve.recipe,
     repro.serve.kvcache,
     repro.serve.engine,
+    repro.serve.sched,
     repro.serve.workload,
     repro.serve.cluster,
     repro.tune.frontier,
