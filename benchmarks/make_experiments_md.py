@@ -56,6 +56,10 @@ BENCHMARK_INDEX: dict[str, tuple[str, str]] = {
         "§7 serving",
         "chunked prefill vs prefill-first p99 TTFT, BF16 vs MX+ page budgets",
     ),
+    "test_disagg_serving.py": (
+        "§7 serving",
+        "disaggregated prefill/decode pools: KV-migration bytes, MX+ vs BF16",
+    ),
     "test_tune_frontier.py": (
         "beyond the paper",
         "autotuned per-layer mixed-precision recipe Pareto frontier",
@@ -579,6 +583,50 @@ def main() -> None:
             "throughput for both formats; the win is larger for MX+ because "
             "its 4.5-bit KV pages keep a whole decode batch resident where "
             "BF16 degenerates toward serial service.",
+        )
+
+    dg = load("disagg_serving")
+    if dg:
+        rows = []
+        for recipe, links in dg["disagg"].items():
+            for link, v in links.items():
+                rows.append(
+                    f"- {recipe} / {link}: p99 TTFT {f(v['p99_ttft_ms'], 1)} ms, "
+                    f"TPOT {f(v['mean_tpot_ms'], 2)} ms, goodput "
+                    f"{f(v['goodput_tok_s'], 0)} tok/s, "
+                    f"{f(v['transfer_bytes_per_request'] / 1e6, 1)} MB/request "
+                    f"migrated, link stall {f(v['transfer_stall_ms_total'], 1)} ms"
+                )
+        rows.append(
+            "- unified 2-replica baseline p99 TTFT: "
+            + ", ".join(
+                f"{k} {f(v['p99_ttft_ms'], 1)} ms"
+                for k, v in dg["unified_2_replicas"].items()
+            )
+        )
+        rows.append(
+            f"- infinite-bandwidth reconciliation vs unified cluster: max abs "
+            f"err {f(dg['reconciliation']['max_abs_err_s'], 3)} s"
+        )
+        section(
+            L,
+            "§7 serving — disaggregated prefill/decode pools "
+            f"({dg['page_budget_gib']} GiB pages, "
+            f"{dg['pools']['prefill']} prefill + {dg['pools']['decode']} decode)",
+            "DistServe/Splitwise-style disaggregation isolates TTFT from decode "
+            "interference at the price of migrating each request's KV across an "
+            "interconnect; MX+'s ~4.5-bit KV shrinks exactly those migration "
+            "bytes (~3.6x less than BF16 per request).",
+            rows,
+            "Reproduced: TTFT is bit-identical across all interconnects (first "
+            "token is produced in the prefill pool before any migration) and "
+            "its tail beats the colocated 2-replica baseline for both formats; "
+            "MX+ migrates >3x fewer bytes/request and keeps its goodput lead "
+            "at every bandwidth; the infinite-bandwidth run reconciles exactly "
+            "with the unified cluster. Nuance kept honest by the artifact: "
+            "with a contended decode pool, a slower link throttles admissions "
+            "and *reduces* preemption thrash, so TPOT is not monotone in "
+            "bandwidth — the serialized link-stall seconds strictly are.",
         )
 
     tf = load("tune_frontier")

@@ -135,11 +135,20 @@ def as_serving_config(cfg) -> ServingConfig:
 
 @dataclass
 class StageTimes:
+    """Aggregate matmul seconds split by serving stage.
+
+    Returned by :func:`simulate_inference` and carried through
+    :class:`repro.serve.ServingResult.stages`; in a disaggregated
+    cluster the prefill pool's work is all ``prefill_s`` and the decode
+    pool's all ``decode_s``.
+    """
+
     prefill_s: float
     decode_s: float
 
     @property
     def total_s(self) -> float:
+        """Prefill plus decode seconds."""
         return self.prefill_s + self.decode_s
 
 
@@ -159,6 +168,11 @@ def spread_layer_overrides(
     densest-information downsample consistent with the inverse mapping.
     The single source of the band rule: ``QuantRecipe.spread_overrides``
     delegates here, and ``step_time`` uses it for per-layer pricing.
+
+    >>> spread_layer_overrides(((0, "mxfp8"), (1, "mxfp4+")), 2, 4)
+    {0: 'mxfp8', 1: 'mxfp8', 2: 'mxfp4+', 3: 'mxfp4+'}
+    >>> spread_layer_overrides(((1, "bf16"),), 0, 4)  # physical indices
+    {1: 'bf16'}
     """
     if not n_layer_groups or n_layer_groups == n_layers:
         return {layer: fmt for layer, fmt in overrides if layer < n_layers}

@@ -29,8 +29,16 @@ Quickstart::
 """
 
 from .recipe import QuantRecipe, available_recipes, get_recipe, register_recipe
-from .kvcache import PagedKVCache, format_kv_bits, kv_token_bytes
+from .kvcache import (
+    INTERCONNECTS,
+    KVTransfer,
+    PagedKVCache,
+    format_kv_bits,
+    get_interconnect,
+    kv_token_bytes,
+)
 from .engine import (
+    KVHandoff,
     Request,
     Response,
     ServingEngine,
@@ -83,6 +91,10 @@ __all__ = [
     "PagedKVCache",
     "kv_token_bytes",
     "format_kv_bits",
+    "KVTransfer",
+    "INTERCONNECTS",
+    "get_interconnect",
+    "KVHandoff",
     "Request",
     "Response",
     "ServingResult",

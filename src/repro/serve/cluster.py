@@ -33,6 +33,16 @@ events: when every live replica's queue is deep, a fresh replica is
 added (up to ``max_replicas``); idle replicas beyond ``min_replicas``
 are retired once drained. Retired replicas keep their results.
 
+Passing ``n_prefill``/``n_decode`` switches the cluster to
+**disaggregated prefill/decode serving**: arrivals are routed over a
+pool of prefill-role replicas, each request's first token is produced
+there (TTFT never sees the interconnect), and its KV pages then migrate
+over a :class:`~repro.serve.kvcache.KVTransfer` link — serialized, at
+the recipe's exact bytes/token — to a decode-role replica picked by
+``decode_router``. The autoscaler applies to each pool independently.
+See :meth:`ServingCluster._run_disaggregated` and
+``docs/SERVING_GUIDE.md``.
+
 With one replica and no shared prefixes the cluster reproduces the
 single-engine result *exactly* — the reconciliation anchor that lets
 fleet numbers be trusted (asserted in ``benchmarks/test_serving_cluster``).
@@ -51,6 +61,8 @@ True
 
 from __future__ import annotations
 
+import heapq
+import math
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -64,7 +76,7 @@ from .engine import (
     ServingResult,
     arrival_order,
 )
-from .kvcache import PagedKVCache
+from .kvcache import KVTransfer, PagedKVCache, get_interconnect, kv_token_bytes
 from .recipe import QuantRecipe
 
 __all__ = [
@@ -146,6 +158,7 @@ class Router:
     def route(
         self, request: Request, replicas: list[ReplicaSnapshot] | None = None
     ) -> int:  # pragma: no cover - interface
+        """Pick the replica index for ``request`` (see class docstring)."""
         raise NotImplementedError
 
 
@@ -158,6 +171,7 @@ class RoundRobinRouter(Router):
         self._pos = 0
 
     def route(self, request, replicas=None) -> int:
+        """The next replica in rotation over the live indices."""
         indices = self._indices(replicas)
         replica = indices[self._pos % len(indices)]
         self._pos += 1
@@ -184,6 +198,7 @@ class LeastKVLoadRouter(Router):
         return min(indices, key=lambda i: (self.loads.get(i, 0), i))
 
     def route(self, request, replicas=None) -> int:
+        """The replica with the least committed KV load; charges it."""
         replica = self._least_loaded(self._indices(replicas))
         self._charge(replica, request)
         return replica
@@ -212,6 +227,7 @@ class PrefixAffinityRouter(LeastKVLoadRouter):
         self._homes: dict[str, int] = {}
 
     def route(self, request, replicas=None) -> int:
+        """The prefix's pinned home, or least-KV-load for prefix-less."""
         if request.prefix_id is None:
             return super().route(request, replicas)
         indices = self._indices(replicas)
@@ -237,6 +253,7 @@ class QueueDepthRouter(Router):
         self._assigned: dict[int, int] = {}
 
     def route(self, request, replicas=None) -> int:
+        """The shallowest live queue (fallback: fewest own assignments)."""
         if replicas is not None:
             replica = min(replicas, key=lambda s: (s.queue_depth, s.index)).index
         else:
@@ -264,6 +281,7 @@ class FreeKVAtArrivalRouter(Router):
         self._loads: dict[int, int] = {}
 
     def route(self, request, replicas=None) -> int:
+        """The most free live KV tokens (fallback: least committed load)."""
         if replicas is not None:
             replica = min(replicas, key=lambda s: (-s.free_kv_tokens, s.index)).index
         else:
@@ -353,7 +371,15 @@ class AutoscalePolicy:
 
 @dataclass
 class FleetResult:
-    """Fleet outcome: per-replica results + cluster-level accounting."""
+    """Fleet outcome: per-replica results + cluster-level accounting.
+
+    For a disaggregated run, ``assignments`` maps each request to its
+    *prefill* replica, ``decode_assignments`` to the decode replica its
+    KV migrated to, ``roles`` records each replica's pool, and
+    ``transfers`` holds one record per KV migration (request id, source,
+    destination, tokens/bytes moved, export/start/arrive instants).
+    Unified runs leave all four empty.
+    """
 
     responses: list[Response]  # input order, across all replicas
     replica_results: list[ServingResult]
@@ -361,9 +387,14 @@ class FleetResult:
     router: str = ""
     scheduler: str = ""
     autoscale_events: list = field(default_factory=list)  # (time, action, index)
+    decode_assignments: dict[str, int] = field(default_factory=dict)
+    decode_router: str = ""
+    roles: list = field(default_factory=list)  # per-replica pool membership
+    transfers: list = field(default_factory=list)  # KV migration records
 
     @property
     def n_replicas(self) -> int:
+        """Replicas that served this run (autoscaled ones included)."""
         return len(self.replica_results)
 
     @property
@@ -373,6 +404,7 @@ class FleetResult:
 
     @property
     def total_tokens(self) -> int:
+        """Output tokens generated across the whole fleet."""
         return sum(r.output_len for r in self.responses)
 
     @property
@@ -382,19 +414,45 @@ class FleetResult:
 
     @property
     def mean_ttft_s(self) -> float:
+        """Mean time-to-first-token over all responses (seconds)."""
         if not self.responses:
             return 0.0
         return float(np.mean([r.ttft_s for r in self.responses]))
 
     @property
     def mean_tpot_s(self) -> float:
+        """Mean time-per-output-token over all responses (seconds)."""
         if not self.responses:
             return 0.0
         return float(np.mean([r.tpot_s for r in self.responses]))
 
     @property
     def preemptions(self) -> int:
+        """Preemption (evict-and-recompute) events across the fleet."""
         return sum(r.preemptions for r in self.replica_results)
+
+    @property
+    def n_transfers(self) -> int:
+        """KV migrations performed (disaggregated runs only)."""
+        return len(self.transfers)
+
+    @property
+    def transfer_bytes_total(self) -> float:
+        """Total bytes moved over the prefill→decode interconnect."""
+        return float(sum(t["bytes"] for t in self.transfers))
+
+    @property
+    def transfer_bytes_per_request(self) -> float:
+        """Mean migrated bytes per transferred request (0.0 if none)."""
+        if not self.transfers:
+            return 0.0
+        return self.transfer_bytes_total / len(self.transfers)
+
+    @property
+    def transfer_stall_s_total(self) -> float:
+        """Seconds requests spent in flight on the interconnect in total
+        (arrival at the decode pool minus export from the prefill pool)."""
+        return float(sum(t["arrive_s"] - t["export_s"] for t in self.transfers))
 
     @property
     def peak_running(self) -> int:
@@ -402,6 +460,7 @@ class FleetResult:
         return sum(r.peak_running for r in self.replica_results)
 
     def p99_ttft_s(self, q: float = 99.0) -> float:
+        """The ``q``-th percentile TTFT — the tail latency SLOs watch."""
         if not self.responses:
             return 0.0
         return float(np.percentile([r.ttft_s for r in self.responses], q))
@@ -445,7 +504,7 @@ class FleetResult:
         self, ttft_slo_s: float | None = None, tpot_slo_s: float | None = None
     ) -> dict:
         """Fleet metrics plus per-replica summaries (JSON-friendly)."""
-        return {
+        out = {
             "router": self.router,
             "n_replicas": self.n_replicas,
             "requests": len(self.responses),
@@ -461,6 +520,18 @@ class FleetResult:
             "goodput_tok_s": self.goodput_tok_s(ttft_slo_s, tpot_slo_s),
             "replicas": [r.summary() for r in self.replica_results],
         }
+        if self.decode_router:  # disaggregated run: migration accounting
+            out.update(
+                {
+                    "decode_router": self.decode_router,
+                    "roles": list(self.roles),
+                    "n_transfers": self.n_transfers,
+                    "transfer_bytes_per_request": self.transfer_bytes_per_request,
+                    "transfer_bytes_total": self.transfer_bytes_total,
+                    "transfer_stall_s_total": self.transfer_stall_s_total,
+                }
+            )
+        return out
 
 
 class ServingCluster:
@@ -491,6 +562,27 @@ class ServingCluster:
     autoscale:
         Optional :class:`AutoscalePolicy` consulted at every arrival;
         replicas added per run start cold and are discarded afterwards.
+        In a disaggregated cluster the policy is applied to each pool
+        *independently* on that pool's own queue depths (prefill pool at
+        arrivals, decode pool at handoff instants).
+    n_prefill / n_decode:
+        Setting both (each >= 1) switches the cluster to **disaggregated
+        prefill/decode serving**: the fleet becomes a prefill pool
+        (replica indices ``0..n_prefill-1``) and a decode pool. Arrivals
+        are routed over the prefill pool by ``router``; when a request's
+        first token completes there, its KV pages migrate over
+        ``kv_transfer`` to a decode replica chosen by ``decode_router``,
+        and decoding resumes after the transfer latency — see
+        :meth:`run`. ``n_replicas`` is ignored in this mode.
+    decode_router:
+        Router for handoff placement over the decode pool (default
+        ``"free-kv-at-arrival"``: the replica with the most free KV
+        pages at the export instant).
+    kv_transfer:
+        Interconnect model pricing each migration — a
+        :class:`~repro.serve.kvcache.KVTransfer`, a preset name from
+        :data:`repro.serve.kvcache.INTERCONNECTS`, or ``None`` for the
+        PCIe 5-class default.
     """
 
     def __init__(
@@ -507,7 +599,21 @@ class ServingCluster:
         model=None,
         scheduler="prefill-first",
         autoscale: AutoscalePolicy | None = None,
+        n_prefill: int = 0,
+        n_decode: int = 0,
+        decode_router="free-kv-at-arrival",
+        kv_transfer: KVTransfer | str | None = None,
     ) -> None:
+        if n_prefill < 0 or n_decode < 0:
+            raise ValueError("n_prefill and n_decode must be >= 0")
+        if (n_prefill > 0) != (n_decode > 0):
+            raise ValueError(
+                "disaggregation needs both n_prefill and n_decode >= 1 "
+                f"(got n_prefill={n_prefill}, n_decode={n_decode})"
+            )
+        self.disaggregated = n_prefill > 0
+        if self.disaggregated:
+            n_replicas = n_prefill + n_decode
         if n_replicas < 1:
             raise ValueError("n_replicas must be >= 1")
         if isinstance(recipe, str):
@@ -516,7 +622,10 @@ class ServingCluster:
         self.recipe = recipe
         self.spec = spec
         self.n_replicas = n_replicas
+        self.n_prefill = n_prefill
+        self.n_decode = n_decode
         self._router_spec = router
+        self._decode_router_spec = decode_router
         self._scheduler_spec = scheduler
         self._kv_token_budget = kv_token_budget
         self._page_budget_bytes = page_budget_bytes
@@ -524,9 +633,17 @@ class ServingCluster:
         self._max_batch = max_batch
         self._model = model
         self.autoscale = autoscale
-        self.engines = [self._make_engine() for _ in range(n_replicas)]
+        self.kv_transfer = (
+            get_interconnect(kv_transfer) if kv_transfer is not None else KVTransfer()
+        )
+        self.roles = (
+            ["prefill"] * n_prefill + ["decode"] * n_decode
+            if self.disaggregated
+            else ["unified"] * n_replicas
+        )
+        self.engines = [self._make_engine(role) for role in self.roles]
 
-    def _make_engine(self) -> ServingEngine:
+    def _make_engine(self, role: str = "unified") -> ServingEngine:
         """One replica: fresh paged cache, shared arch/recipe/GPU."""
         if self._page_budget_bytes is not None:
             cache = PagedKVCache.from_byte_budget(
@@ -555,6 +672,7 @@ class ServingCluster:
             model=self._model,
             kv_cache=cache,
             scheduler=scheduler,
+            role=role,
         )
 
     @property
@@ -580,12 +698,23 @@ class ServingCluster:
         router: Router,
         t_arr: float,
         events: list,
+        role: str = "unified",
+        roles: list | None = None,
+        protect: frozenset = frozenset(),
     ) -> None:
-        """Grow/retire live replicas toward the policy's target count."""
+        """Grow/retire live replicas toward the policy's target count.
+
+        In a disaggregated cluster this runs once per *pool* (``live`` is
+        that pool's replica indices and ``role`` the pool membership new
+        replicas get); ``protect`` shields replicas that look idle but
+        have a KV migration in flight toward them from retirement.
+        """
         snaps = [self._snapshot(replicas[j], j) for j in live]
         target = self.autoscale.target(snaps)
         while len(live) < target:
-            replicas.append(self._make_engine())
+            replicas.append(self._make_engine(role))
+            if roles is not None:
+                roles.append(role)
             live.append(len(replicas) - 1)
             router.resize(len(replicas))
             events.append((t_arr, "scale-up", len(replicas) - 1))
@@ -595,9 +724,43 @@ class ServingCluster:
             for j in sorted(live, reverse=True):
                 if len(live) <= target:
                     break
-                if not replicas[j].has_work():
+                if not replicas[j].has_work() and j not in protect:
                     live.remove(j)
                     events.append((t_arr, "scale-down", j))
+
+    def _route_and_submit(
+        self,
+        router: Router,
+        replicas: list[ServingEngine],
+        live: list[int],
+        request: Request,
+        assignments: dict[str, int],
+    ) -> None:
+        """Route one arrival against live snapshots and submit it.
+
+        The shared arrival path of both event loops: snapshot the
+        routable replicas, ask the router, reject out-of-pool answers
+        loudly, record the assignment, enqueue on the chosen engine.
+        """
+        snaps = [self._snapshot(replicas[j], j) for j in live]
+        replica = router.route(request, snaps)
+        if replica not in live:
+            raise ValueError(
+                f"router {router.name!r} returned invalid replica "
+                f"{replica} (live: {live})"
+            )
+        assignments[request.request_id] = replica
+        replicas[replica].submit(request)
+
+    @staticmethod
+    def _fleet_responses(
+        requests: list[Request], results: list[ServingResult]
+    ) -> list[Response]:
+        """Responses in original input order, joined across replicas."""
+        by_id = {
+            resp.request_id: resp for res in results for resp in res.responses
+        }
+        return [by_id[r.request_id] for r in requests]
 
     def run(self, requests: list[Request]) -> FleetResult:
         """Serve ``requests`` through the global virtual-time event loop.
@@ -609,7 +772,13 @@ class ServingCluster:
         scheduling decision at that instant cannot see the future — so
         the whole fleet shares one coherent timeline. Responses come
         back in input order.
+
+        A disaggregated cluster (``n_prefill``/``n_decode`` set) adds a
+        third event type — KV-transfer completions — and is dispatched
+        to the pool-aware loop; see the class docstring.
         """
+        if self.disaggregated:
+            return self._run_disaggregated(requests)
         router = get_router(self._router_spec, self.n_replicas)
         if router.n_replicas != self.n_replicas:
             raise ValueError(
@@ -643,15 +812,9 @@ class ServingCluster:
                         self._apply_autoscale(
                             replicas, live, router, t_arr, autoscale_events
                         )
-                    snaps = [self._snapshot(replicas[j], j) for j in live]
-                    replica = router.route(request, snaps)
-                    if replica not in live:
-                        raise ValueError(
-                            f"router {router.name!r} returned invalid replica "
-                            f"{replica} (live: {live})"
-                        )
-                    assignments[request.request_id] = replica
-                    replicas[replica].submit(request)
+                    self._route_and_submit(
+                        router, replicas, live, request, assignments
+                    )
                 else:
                     # Step event: advance the replica with the earliest
                     # next event (ties to the lowest index).
@@ -670,14 +833,218 @@ class ServingCluster:
         results = [
             engine.collect(shard) for engine, shard in zip(replicas, shards)
         ]
-        by_id = {
-            resp.request_id: resp for res in results for resp in res.responses
-        }
         return FleetResult(
-            responses=[by_id[r.request_id] for r in requests],
+            responses=self._fleet_responses(requests, results),
             replica_results=results,
             assignments=assignments,
             router=router.name,
             scheduler=replicas[0].scheduler.name,
             autoscale_events=autoscale_events,
+        )
+
+    # -- disaggregated prefill/decode serving ---------------------------
+    def _run_disaggregated(self, requests: list[Request]) -> FleetResult:
+        """The pool-aware event loop: arrivals, steps, and KV transfers.
+
+        Three event types share one virtual timeline, processed earliest
+        first (ties: arrival, then transfer completion, then step — the
+        same decide-without-seeing-the-future rule as the unified loop):
+
+        * **arrival** — routed over the live *prefill* pool snapshots;
+        * **transfer completion** — a migrated request reaches its decode
+          replica (``import_kv``) and becomes schedulable there;
+        * **step** — the earliest replica advances one scheduler
+          iteration. A prefill-role step whose ``handoff_ready`` is
+          non-empty triggers exports immediately: pages are released on
+          the source (shared prefixes survive via refcounts), a decode
+          replica is chosen by ``decode_router`` at that instant, and the
+          migration is priced by ``kv_transfer`` — transfers *serialize*
+          on the link (one shared interconnect), so concurrent handoffs
+          queue behind each other's byte time, while the propagation
+          latency pipelines.
+
+        TTFT is decided entirely in the prefill pool (the first token is
+        produced there before export), so interconnect bandwidth moves
+        TPOT and end-to-end latency, never TTFT — the disaggregation
+        property the benchmark asserts.
+        """
+        prefill_router = get_router(self._router_spec, self.n_prefill)
+        decode_router = get_router(self._decode_router_spec, self.n_decode)
+        prefill_router.reset()
+        decode_router.reset()
+        pending = arrival_order(requests)  # validates duplicate ids too
+        replicas = list(self.engines)
+        roles = list(self.roles)
+        live_p = [j for j, role in enumerate(roles) if role == "prefill"]
+        live_d = [j for j, role in enumerate(roles) if role == "decode"]
+        for engine in replicas:
+            engine.begin_run()
+        assignments: dict[str, int] = {}
+        decode_assignments: dict[str, int] = {}
+        autoscale_events: list = []
+        transfer_records: list[dict] = []
+        transfers: list[tuple] = []  # heap: (t_arrive, seq, dest, handoff, tokens)
+        self._transfer_seq = 0
+        self._link_busy_until = 0.0
+        token_bytes = kv_token_bytes(self.arch, self.recipe)
+        i = 0
+        try:
+            while i < len(pending) or transfers or any(
+                e.has_work() for e in replicas
+            ):
+                t_arr = pending[i].arrival_s if i < len(pending) else None
+                t_tr = transfers[0][0] if transfers else None
+                candidates = [
+                    (t, idx)
+                    for idx, engine in enumerate(replicas)
+                    if (t := engine.peek_next_event()) is not None
+                ]
+                t_eng = min(candidates)[0] if candidates else None
+                if (
+                    t_arr is not None
+                    and (t_eng is None or t_arr <= t_eng)
+                    and (t_tr is None or t_arr <= t_tr)
+                ):
+                    request = pending[i]
+                    i += 1
+                    if self.autoscale is not None:
+                        self._apply_autoscale(
+                            replicas,
+                            live_p,
+                            prefill_router,
+                            t_arr,
+                            autoscale_events,
+                            role="prefill",
+                            roles=roles,
+                        )
+                    self._route_and_submit(
+                        prefill_router, replicas, live_p, request, assignments
+                    )
+                elif t_tr is not None and (t_eng is None or t_tr <= t_eng):
+                    # Transfer completion: the migrated KV reaches its
+                    # decode replica and the request queues there.
+                    t_arrive, _, dest, handoff, n_tokens = heapq.heappop(
+                        transfers
+                    )
+                    replicas[dest].import_kv(
+                        handoff, t_arrive, transferred_tokens=n_tokens
+                    )
+                else:
+                    _, idx = min(candidates)
+                    event = replicas[idx].step()
+                    if event is not None and event.handoff_ready:
+                        for rid in event.handoff_ready:
+                            self._start_transfer(
+                                rid,
+                                idx,
+                                replicas,
+                                roles,
+                                live_d,
+                                decode_router,
+                                token_bytes,
+                                transfers,
+                                transfer_records,
+                                decode_assignments,
+                                autoscale_events,
+                            )
+        finally:
+            for engine in replicas:
+                engine.abort()
+            prefill_router.resize(self.n_prefill)
+            decode_router.resize(self.n_decode)
+        # A request finishes on exactly one replica: its decode replica,
+        # or its prefill replica when max_new_tokens == 1 (nothing left
+        # to generate after the first token — no transfer at all).
+        results = [
+            engine.collect(
+                [r for r in requests if r.request_id in engine.finished]
+            )
+            for engine in replicas
+        ]
+        return FleetResult(
+            responses=self._fleet_responses(requests, results),
+            replica_results=results,
+            assignments=assignments,
+            router=prefill_router.name,
+            scheduler=replicas[0].scheduler.name,
+            autoscale_events=autoscale_events,
+            decode_assignments=decode_assignments,
+            decode_router=decode_router.name,
+            roles=roles,
+            transfers=transfer_records,
+        )
+
+    def _start_transfer(
+        self,
+        rid: str,
+        src: int,
+        replicas: list[ServingEngine],
+        roles: list,
+        live_d: list[int],
+        decode_router: Router,
+        token_bytes: float,
+        transfers: list,
+        records: list[dict],
+        decode_assignments: dict[str, int],
+        autoscale_events: list,
+    ) -> None:
+        """Export ``rid`` from ``src`` and schedule its arrival event.
+
+        The destination is chosen *now* (bytes have to go somewhere), so
+        the decode router sees pool state at the export instant. Bytes
+        are the migrated context at the recipe's exact per-token KV
+        footprint, minus any full prefix blocks the destination already
+        holds cached — a shared system prompt resident on the decode
+        replica does not cross the wire again.
+        """
+        handoff = replicas[src].export_kv(rid)
+        if self.autoscale is not None:
+            inflight = frozenset(dest for _, _, dest, _, _ in transfers)
+            self._apply_autoscale(
+                replicas,
+                live_d,
+                decode_router,
+                handoff.export_s,
+                autoscale_events,
+                role="decode",
+                roles=roles,
+                protect=inflight,
+            )
+        snaps = [self._snapshot(replicas[j], j) for j in live_d]
+        dest = decode_router.route(handoff.request, snaps)
+        if dest not in live_d:
+            raise ValueError(
+                f"router {decode_router.name!r} returned invalid decode "
+                f"replica {dest} (live: {live_d})"
+            )
+        cached = replicas[dest].kv_cache.cached_prefix_tokens(
+            handoff.request.prefix_id, handoff.request.prefix_len
+        )
+        n_tokens = max(0, handoff.tokens - cached)
+        n_bytes = n_tokens * token_bytes
+        occupancy = self.kv_transfer.occupancy_s(n_bytes)
+        if math.isinf(occupancy):
+            raise RuntimeError(
+                f"zero-bandwidth interconnect: migrating {n_bytes:.0f} bytes "
+                f"for request {rid!r} would never complete"
+            )
+        start = max(handoff.export_s, self._link_busy_until)
+        self._link_busy_until = start + occupancy
+        t_arrive = start + self.kv_transfer.latency_s + occupancy
+        decode_assignments[rid] = dest
+        heapq.heappush(
+            transfers, (t_arrive, self._transfer_seq, dest, handoff, n_tokens)
+        )
+        self._transfer_seq += 1
+        records.append(
+            {
+                "request_id": rid,
+                "src": src,
+                "dest": dest,
+                "tokens": n_tokens,
+                "bytes": n_bytes,
+                "export_s": handoff.export_s,
+                "start_s": start,
+                "arrive_s": t_arrive,
+            }
         )

@@ -86,10 +86,18 @@ __all__ = [
     "Response",
     "ServingResult",
     "StepEvent",
+    "KVHandoff",
     "ServingEngine",
     "validate_batch",
     "arrival_order",
 ]
+
+#: Engine roles in a (possibly disaggregated) fleet. ``"unified"`` runs
+#: the classic colocated loop; ``"prefill"`` serves every request up to
+#: its *first* output token, then parks it for `export_kv` (KV
+#: migration); ``"decode"`` additionally accepts migrated requests via
+#: `import_kv` and generates their remaining tokens without re-prefill.
+ENGINE_ROLES = ("unified", "prefill", "decode")
 
 
 @dataclass(frozen=True)
@@ -196,6 +204,7 @@ class Response:
 
     @property
     def e2e_latency_s(self) -> float:
+        """End-to-end latency: arrival to last generated token."""
         return self.finish_s - self.arrival_s
 
 
@@ -215,30 +224,36 @@ class ServingResult:
 
     @property
     def total_tokens(self) -> int:
+        """Output tokens generated across all responses."""
         return sum(r.output_len for r in self.responses)
 
     @property
     def throughput_tok_s(self) -> float:
+        """Output tokens per second of virtual wall-clock."""
         return self.total_tokens / self.makespan_s if self.makespan_s else 0.0
 
     @property
     def mean_ttft_s(self) -> float:
+        """Mean time-to-first-token over the batch (seconds)."""
         if not self.responses:
             return 0.0
         return float(np.mean([r.ttft_s for r in self.responses]))
 
     @property
     def mean_tpot_s(self) -> float:
+        """Mean time-per-output-token over the batch (seconds)."""
         if not self.responses:
             return 0.0
         return float(np.mean([r.tpot_s for r in self.responses]))
 
     def p99_ttft_s(self, q: float = 99.0) -> float:
+        """The ``q``-th percentile TTFT — the tail latency SLOs watch."""
         if not self.responses:
             return 0.0
         return float(np.percentile([r.ttft_s for r in self.responses], q))
 
     def summary(self) -> dict[str, float]:
+        """Headline serving metrics as one JSON-friendly dict."""
         return {
             "requests": len(self.responses),
             "total_tokens": self.total_tokens,
@@ -266,6 +281,9 @@ class _Active:
     cached: int = 0  # prefix tokens reused from the KV cache this admission
     prefilled: int = 0  # prompt rows computed this admission (cached excluded)
     admit_ctx: int = 0  # context tokens at admission (fixed until requeued)
+    imported: bool = False  # KV migrated in: admission skips transferred tokens
+    transfer_tokens: int = 0  # context tokens that actually crossed the link
+    ready_s: float = 0.0  # earliest schedulable instant (arrival or import)
     tokens: list = field(default_factory=list)  # numeric mode
     # Queue position: (1, arrival, seq) for fresh requests; preemption
     # victims get (0, -evict_tick, 0) so they sit at the queue head,
@@ -315,6 +333,31 @@ class StepEvent:
     admitted: list[str] = field(default_factory=list)
     finished: list[str] = field(default_factory=list)
     preempted: int = 0
+    # prefill-role engines only: requests whose first token completed this
+    # step and now await export_kv() (KV migration to a decode replica).
+    handoff_ready: list[str] = field(default_factory=list)
+
+
+@dataclass(frozen=True)
+class KVHandoff:
+    """A prefill-complete request packaged for KV migration.
+
+    Produced by :meth:`ServingEngine.export_kv` on a ``role="prefill"``
+    engine — at which point the source's KV pages are already released
+    (refcount-correct: shared prefix pages stay cached for siblings) —
+    and consumed by :meth:`ServingEngine.import_kv` on the destination.
+    ``tokens`` is the resident context at export (prompt + the first
+    generated token): the KV that must cross the interconnect, priced by
+    :class:`repro.serve.kvcache.KVTransfer`.
+    """
+
+    request: Request
+    tokens: int  # KV tokens resident at export (prompt_len + generated)
+    generated: int  # output tokens already produced (>= 1: the first token)
+    first_token_s: float  # TTFT is fixed on the prefill replica
+    export_s: float  # virtual time the source released its pages
+    preemptions: int = 0
+    token_ids: tuple = ()  # numeric mode: generated token ids so far
 
 
 class ServingEngine:
@@ -352,6 +395,13 @@ class ServingEngine:
         :func:`repro.serve.sched.available_schedulers` or a
         :class:`~repro.serve.sched.Scheduler` instance. The default
         ``"prefill-first"`` reproduces the historical loop exactly.
+    role:
+        ``"unified"`` (default) is the classic colocated loop. In a
+        disaggregated fleet, ``"prefill"`` engines serve each request
+        through prefill and its *first* output token, then park it for
+        :meth:`export_kv` (KV migration); ``"decode"`` engines accept
+        migrated requests via :meth:`import_kv` and generate the
+        remaining tokens without recomputing prefill.
     """
 
     def __init__(
@@ -364,9 +414,14 @@ class ServingEngine:
         model=None,
         kv_cache: PagedKVCache | None = None,
         scheduler="prefill-first",
+        role: str = "unified",
     ) -> None:
         if isinstance(recipe, str):
             recipe = QuantRecipe.from_name(recipe)
+        if role not in ENGINE_ROLES:
+            raise ValueError(
+                f"unknown engine role {role!r} (one of {', '.join(ENGINE_ROLES)})"
+            )
         if kv_cache is None:
             if kv_token_budget < 1:
                 raise ValueError("kv_token_budget must be >= 1")
@@ -381,6 +436,7 @@ class ServingEngine:
         self.kv_token_budget = kv_cache.capacity_tokens
         self.max_batch = max_batch
         self.model = model
+        self.role = role
         self.scheduler: Scheduler = get_scheduler(scheduler)
         self._qc = None
         if model is not None:
@@ -403,10 +459,15 @@ class ServingEngine:
         between runs, exactly as before. Raises if requests are still in
         flight (``run`` the engine dry, or ``abort`` first).
         """
-        if getattr(self, "_running", None) or getattr(self, "_waiting", None):
+        if (
+            getattr(self, "_running", None)
+            or getattr(self, "_waiting", None)
+            or getattr(self, "_exportable", None)
+        ):
             raise RuntimeError("begin_run() with requests still in flight")
         self._waiting: list[_Active] = []  # sorted by _Active.queue_key
         self._running: list[_Active] = []
+        self._exportable: dict[str, _Active] = {}  # prefill role: awaiting export
         self.finished: dict[str, Response] = {}
         self._known_ids: set[str] = set()
         self.clock = 0.0
@@ -430,8 +491,11 @@ class ServingEngine:
         """
         for state in self._running:
             self.kv_cache.free(state.request.request_id)
+        for request_id in self._exportable:
+            self.kv_cache.free(request_id)
         self._running.clear()
         self._waiting.clear()
+        self._exportable.clear()
 
     # -- queue introspection (schedulers, routers, autoscalers) --------
     @property
@@ -446,10 +510,12 @@ class ServingEngine:
 
     @property
     def n_running(self) -> int:
+        """Admitted, unfinished requests (the current batch size)."""
         return len(self._running)
 
     @property
     def n_waiting(self) -> int:
+        """Queued requests not yet admitted to the KV cache."""
         return len(self._waiting)
 
     @property
@@ -463,7 +529,101 @@ class ServingEngine:
         return self.kv_cache.free_tokens
 
     def has_work(self) -> bool:
+        """Whether any request is still waiting or running here."""
         return bool(self._waiting or self._running)
+
+    @property
+    def exportable(self) -> list[str]:
+        """Request ids parked for KV migration (prefill role), in the
+        order their first token completed."""
+        return list(self._exportable)
+
+    # -- disaggregated handoff (prefill -> decode KV migration) --------
+    def export_kv(self, request_id: str) -> KVHandoff:
+        """Package a prefill-complete request for migration; free its pages.
+
+        Only requests a prefill-role step reported in
+        ``StepEvent.handoff_ready`` can be exported. The source's KV
+        pages are released *refcount-correctly*: a shared prefix the
+        request was holding stays cached for sibling requests (its
+        refcount drops by one), exactly as a normal completion would
+        leave it. The returned :class:`KVHandoff` carries everything the
+        destination needs — request metadata, resident token count (the
+        bytes to migrate), TTFT already fixed on this replica, and any
+        numeric-mode token ids.
+        """
+        state = self._exportable.pop(request_id, None)
+        if state is None:
+            raise KeyError(
+                f"request {request_id!r} is not awaiting export "
+                f"(exportable: {sorted(self._exportable)})"
+            )
+        handoff = KVHandoff(
+            request=state.request,
+            tokens=state.ctx,
+            generated=state.generated,
+            first_token_s=state.first_token_s,
+            export_s=self.clock,
+            preemptions=state.preemptions,
+            token_ids=tuple(state.tokens),
+        )
+        self.kv_cache.free(request_id)
+        return handoff
+
+    def import_kv(
+        self,
+        handoff: KVHandoff,
+        arrival_s: float,
+        transferred_tokens: int | None = None,
+    ) -> None:
+        """Accept a migrated request; it decodes without recomputing prefill.
+
+        ``arrival_s`` is the virtual instant the KV transfer completed —
+        the request becomes schedulable then, not at its original client
+        arrival. Admission goes through the normal paged-allocator path
+        (committing pages for the full migrated context, sharing a
+        cached prefix if this replica already holds it); if the cache is
+        full the request waits in the queue like any other. Raises on a
+        prefill-role engine — migrations flow prefill → decode.
+
+        ``transferred_tokens`` is how many of the handoff's context
+        tokens actually crossed the link (default: all of them). The
+        sender may have skipped a shared prefix it saw cached here at
+        export time; if that prefix is gone by the time admission
+        happens, the gap is *recomputed locally* as prefill rows —
+        migrated KV never materializes out of nothing.
+        """
+        if self.role == "prefill":
+            raise ValueError("prefill-role engines cannot import KV")
+        request = handoff.request
+        self._validate_admission(
+            request, request.prompt_len + request.max_new_tokens
+        )
+        if arrival_s < handoff.export_s:
+            raise ValueError("import before export: transfer time must be >= 0")
+        if transferred_tokens is None:
+            transferred_tokens = handoff.tokens
+        if not 0 <= transferred_tokens <= handoff.tokens:
+            raise ValueError(
+                f"transferred_tokens {transferred_tokens} outside "
+                f"[0, {handoff.tokens}]"
+            )
+        self._known_ids.add(request.request_id)
+        state = _Active(
+            request=request,
+            order=-1,
+            seq=self._submit_seq,
+            generated=handoff.generated,
+            first_token_s=handoff.first_token_s,
+            preemptions=handoff.preemptions,
+            imported=True,
+            transfer_tokens=transferred_tokens,
+            tokens=list(handoff.token_ids),
+        )
+        state.queue_key = (1, arrival_s, state.seq)
+        state.ready_s = arrival_s
+        self._submit_seq += 1
+        insort(self._waiting, state)
 
     # -- incremental event API -----------------------------------------
     def submit(self, request: Request) -> None:
@@ -473,21 +633,33 @@ class ServingEngine:
         preemption victims keep their place at the queue head. A request
         that could never fit the KV cache is rejected immediately.
         """
+        # A prefill-role engine only ever holds the prompt plus the first
+        # output token; the rest of the generation budget lives on the
+        # decode replica the KV migrates to.
+        self._validate_admission(
+            request,
+            request.prompt_len
+            + (1 if self.role == "prefill" else request.max_new_tokens),
+        )
+        self._known_ids.add(request.request_id)
+        state = _Active(request=request, order=-1, seq=self._submit_seq)
+        state.queue_key = (1, request.arrival_s, state.seq)
+        state.ready_s = request.arrival_s
+        self._submit_seq += 1
+        insort(self._waiting, state)
+
+    def _validate_admission(self, request: Request, total: int) -> None:
+        """Shared enqueue validation (``submit`` and ``import_kv``):
+        reject duplicate ids and requests the cache could never hold."""
         if request.request_id in self._known_ids:
             raise ValueError(
                 f"duplicate request_id {request.request_id!r} in batch"
             )
-        total = request.prompt_len + request.max_new_tokens
         if total > self.kv_cache.capacity_tokens:
             raise ValueError(
                 f"kv_token_budget={self.kv_cache.capacity_tokens} cannot hold "
                 f"the largest request ({total} tokens)"
             )
-        self._known_ids.add(request.request_id)
-        state = _Active(request=request, order=-1, seq=self._submit_seq)
-        state.queue_key = (1, request.arrival_s, state.seq)
-        self._submit_seq += 1
-        insort(self._waiting, state)
 
     def peek_next_event(self) -> float | None:
         """Virtual time of the next instant the engine can act.
@@ -502,9 +674,9 @@ class ServingEngine:
         if not self._waiting:
             return None
         head = self._waiting[0]
-        if head.queue_key[0] == 0 or head.request.arrival_s <= self.clock:
+        if head.queue_key[0] == 0 or head.ready_s <= self.clock:
             return self.clock  # preemption victims are always "arrived"
-        return head.request.arrival_s
+        return head.ready_s
 
     def step(self) -> StepEvent | None:
         """Advance one scheduler iteration; ``None`` when drained.
@@ -588,6 +760,15 @@ class ServingEngine:
             self.kv_cache.free(state.request.request_id)
             self.finished[state.request.request_id] = self._response(state, self.clock)
             finished_ids.append(state.request.request_id)
+        handoff_ids: list[str] = []
+        if self.role == "prefill":
+            # First token done, more tokens budgeted: the request's KV is
+            # ready to migrate. It leaves the batch but keeps its pages
+            # pinned until export_kv() releases them.
+            for state in [s for s in plan.decode if not s.done and s.generated >= 1]:
+                self._running.remove(state)
+                self._exportable[state.request.request_id] = state
+                handoff_ids.append(state.request.request_id)
         return StepEvent(
             t_start=t_start,
             t_end=self.clock,
@@ -597,11 +778,29 @@ class ServingEngine:
             admitted=admitted_ids,
             finished=finished_ids,
             preempted=preempted,
+            handoff_ready=handoff_ids,
         )
 
     # ------------------------------------------------------------------
     def run(self, requests: list[Request]) -> ServingResult:
-        """Serve ``requests`` to completion; responses keep input order."""
+        """Serve ``requests`` to completion; responses keep input order.
+
+        A prefill-role engine can only ``run`` requests that *finish* in
+        the prefill pool (``max_new_tokens == 1``); anything larger
+        parks for KV export mid-flight and must be driven through
+        ``step()``/``export_kv()`` — normally by a disaggregated
+        :class:`~repro.serve.ServingCluster` — so asking ``run`` to
+        drain it is rejected up front rather than losing the request.
+        """
+        if self.role == "prefill":
+            stranded = [r.request_id for r in requests if r.max_new_tokens > 1]
+            if stranded:
+                raise ValueError(
+                    f"prefill-role engines park multi-token requests "
+                    f"{stranded} for export_kv(); drive them with "
+                    "step()/export_kv() (or a disaggregated ServingCluster) "
+                    "instead of run()"
+                )
         self.begin_run()
         if not requests:
             return ServingResult([], StageTimes(0.0, 0.0), 0.0)
@@ -649,7 +848,7 @@ class ServingEngine:
         admitted: list[_Active] = []
         while self._waiting and len(self._running) < self.max_batch:
             nxt = self._waiting[0]
-            if nxt.queue_key[0] != 0 and nxt.request.arrival_s > self.clock:
+            if nxt.queue_key[0] != 0 and nxt.ready_s > self.clock:
                 break
             # Pure capacity probe first: admission polls every scheduler
             # iteration, and a blocked head must not inflate the
@@ -669,6 +868,17 @@ class ServingEngine:
             nxt.cached = cached
             nxt.prefilled = 0
             nxt.admit_ctx = nxt.ctx
+            if nxt.imported:
+                # Migrated KV: what crossed the link (plus any prefix
+                # cached here right now) is already materialized, so those
+                # rows are never recomputed. Tokens the sender *discounted*
+                # against a prefix that has since been evicted are missing
+                # on this replica — they stay as prefill rows and are
+                # recomputed locally before decoding resumes.
+                missing = max(
+                    0, nxt.admit_ctx - nxt.cached - nxt.transfer_tokens
+                )
+                nxt.prefilled = max(0, nxt.prefill_tokens_needed - missing)
             nxt.order = self._admit_seq
             self._admit_seq += 1
             self._waiting.pop(0)
@@ -703,6 +913,10 @@ class ServingEngine:
             victim.preemptions += 1
             victim.cached = 0
             victim.prefilled = 0
+            # An imported victim's migrated pages are gone; re-admission
+            # recomputes the full context locally (the transfer is not
+            # repeated — the prompt travels with the request metadata).
+            victim.imported = False
             self._evict_tick += 1
             victim.queue_key = (0, -self._evict_tick, 0)
             insort(self._waiting, victim)  # queue head: recompute first

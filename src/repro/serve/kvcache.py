@@ -40,11 +40,19 @@ from its ``kv_token_budget`` argument when no cache is passed.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from ..gpu.spec import format_storage_bits
 from ..models.zoo import ArchSpec
 
-__all__ = ["PagedKVCache", "kv_token_bytes", "format_kv_bits"]
+__all__ = [
+    "PagedKVCache",
+    "kv_token_bytes",
+    "format_kv_bits",
+    "KVTransfer",
+    "INTERCONNECTS",
+    "get_interconnect",
+]
 
 
 def format_kv_bits(fmt: str) -> float:
@@ -238,6 +246,7 @@ class PagedKVCache:
 
     @property
     def free_blocks(self) -> int:
+        """Pages not held by any sequence or cached prefix."""
         return self.num_blocks - self.used_blocks
 
     @property
@@ -259,17 +268,20 @@ class PagedKVCache:
 
     @property
     def capacity_bytes(self) -> float | None:
+        """Byte capacity (``None`` unless built with ``token_bytes``)."""
         if self.token_bytes is None:
             return None
         return self.capacity_tokens * self.token_bytes
 
     @property
     def used_bytes(self) -> float | None:
+        """Bytes of held pages (``None`` unless built with ``token_bytes``)."""
         if self.token_bytes is None:
             return None
         return self.used_blocks * self.block_tokens * self.token_bytes
 
     def seq_tokens(self, seq_id: str) -> int:
+        """Context tokens currently resident for sequence ``seq_id``."""
         return self._seqs[seq_id].tokens
 
     # -- prefix helpers ------------------------------------------------
@@ -471,3 +483,113 @@ class PagedKVCache:
             f"PagedKVCache(num_blocks={self.num_blocks}, "
             f"block_tokens={self.block_tokens}, used={self.used_blocks})"
         )
+
+
+# ----------------------------------------------------------------------
+# KV migration pricing (disaggregated prefill/decode serving)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class KVTransfer:
+    """Prices migration of a request's KV pages over an interconnect.
+
+    Disaggregated serving runs prefill and decode on *separate* replica
+    pools, so every request's KV cache — ``ctx`` tokens at the recipe's
+    exact :func:`kv_token_bytes` — must cross a prefill→decode link
+    before decoding can start. This object is the link model:
+
+    * ``occupancy_s(n_bytes)`` — the time the link is *busy* moving the
+      bytes (``bytes / bandwidth``); the cluster serializes concurrent
+      migrations on this, so a slow link becomes a queue.
+    * ``transfer_s(n_bytes)`` — end-to-end latency of one migration:
+      propagation ``latency_s`` plus the occupancy.
+
+    ``bandwidth_gb_s`` is in GB/s (1 GB = 1e9 bytes). ``math.inf``
+    models the unified-equivalent limit (zero-time transfers); ``0.0``
+    models a stalled link — ``occupancy_s`` returns ``inf`` and a
+    cluster asked to schedule such a transfer raises rather than
+    spinning forever.
+
+    The MX+ serving argument shows up here directly: migration bytes are
+    ``tokens * kv_token_bytes(arch, recipe)``, so a 4.5-bit KV recipe
+    moves ~3.6x less than BF16 per request at the same context length.
+
+    >>> link = KVTransfer(bandwidth_gb_s=64.0, latency_s=50e-6)
+    >>> link.occupancy_s(64e9)  # 64 GB over 64 GB/s
+    1.0
+    >>> link.transfer_s(0.0) == link.latency_s
+    True
+    >>> KVTransfer(bandwidth_gb_s=float("inf"), latency_s=0.0).transfer_s(1e12)
+    0.0
+    >>> KVTransfer(bandwidth_gb_s=0.0).occupancy_s(1.0)
+    inf
+    """
+
+    bandwidth_gb_s: float = 64.0  # PCIe 5.0 x16-class default
+    latency_s: float = 50e-6
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if self.bandwidth_gb_s < 0:
+            raise ValueError("bandwidth_gb_s must be >= 0")
+        if self.latency_s < 0 or math.isinf(self.latency_s):
+            raise ValueError("latency_s must be finite and >= 0")
+
+    def occupancy_s(self, n_bytes: float) -> float:
+        """Seconds the link is busy moving ``n_bytes`` (queueing unit)."""
+        if n_bytes < 0:
+            raise ValueError("n_bytes must be >= 0")
+        if n_bytes == 0 or math.isinf(self.bandwidth_gb_s):
+            return 0.0
+        if self.bandwidth_gb_s == 0:
+            return math.inf
+        return n_bytes / (self.bandwidth_gb_s * 1e9)
+
+    def transfer_s(self, n_bytes: float) -> float:
+        """End-to-end seconds for one migration: latency + occupancy."""
+        return self.latency_s + self.occupancy_s(n_bytes)
+
+    def migration_bytes(self, arch: ArchSpec, recipe_or_fmt, tokens: int) -> float:
+        """Bytes ``tokens`` KV tokens occupy under the recipe's KV format.
+
+        Per-layer aware via :func:`kv_token_bytes`, so a tuned
+        mixed-precision recipe with ``kv="auto"`` migrates exactly what
+        its paged cache stores.
+
+        >>> from repro.models.zoo import ARCHS
+        >>> link = KVTransfer()
+        >>> arch = ARCHS["llama-2-13b"]
+        >>> link.migration_bytes(arch, "mxfp4+", 100) < link.migration_bytes(
+        ...     arch, "bf16", 100)
+        True
+        """
+        return kv_token_bytes(arch, recipe_or_fmt) * tokens
+
+
+#: Named interconnect presets for the disaggregated serving scenarios.
+INTERCONNECTS: dict[str, KVTransfer] = {
+    "nvlink4": KVTransfer(bandwidth_gb_s=450.0, latency_s=10e-6, name="nvlink4"),
+    "pcie5": KVTransfer(bandwidth_gb_s=64.0, latency_s=50e-6, name="pcie5"),
+    "100gbe": KVTransfer(bandwidth_gb_s=12.5, latency_s=200e-6, name="100gbe"),
+    "infinite": KVTransfer(
+        bandwidth_gb_s=math.inf, latency_s=0.0, name="infinite"
+    ),
+}
+
+
+def get_interconnect(name_or_transfer) -> KVTransfer:
+    """Resolve an interconnect preset name (or pass a :class:`KVTransfer`).
+
+    >>> get_interconnect("pcie5").bandwidth_gb_s
+    64.0
+    >>> sorted(INTERCONNECTS)
+    ['100gbe', 'infinite', 'nvlink4', 'pcie5']
+    """
+    if isinstance(name_or_transfer, KVTransfer):
+        return name_or_transfer
+    key = str(name_or_transfer).lower()
+    if key not in INTERCONNECTS:
+        raise KeyError(
+            f"unknown interconnect {name_or_transfer!r} "
+            f"(available: {', '.join(sorted(INTERCONNECTS))})"
+        )
+    return INTERCONNECTS[key]

@@ -74,6 +74,7 @@ class StepPlan:
 
     @property
     def empty(self) -> bool:
+        """A step with no rows (an engine error if ever executed)."""
         return not self.prefill and not self.decode
 
 
@@ -111,10 +112,11 @@ class PrefillFirstScheduler(Scheduler):
 
     def plan(self, engine) -> StepPlan:
         admitted = engine.admit_arrived()
-        if admitted:
-            return StepPlan(
-                prefill=[(s, s.prefill_remaining) for s in admitted]
-            )
+        # Imported (KV-migrated) admissions have no prefill rows — they go
+        # straight to the decode branch with everyone else.
+        prefill = [(s, s.prefill_remaining) for s in admitted if s.prefill_remaining > 0]
+        if prefill:
+            return StepPlan(prefill=prefill)
         return StepPlan(decode=list(engine.running))
 
 
@@ -176,7 +178,13 @@ class DecodePriorityScheduler(Scheduler):
         if decode:
             return StepPlan(decode=decode)
         admitted = engine.admit_arrived()
-        return StepPlan(prefill=[(s, s.prefill_remaining) for s in admitted])
+        prefill = [(s, s.prefill_remaining) for s in admitted if s.prefill_remaining > 0]
+        if prefill:
+            return StepPlan(prefill=prefill)
+        # All admissions were imported (KV-migrated, prefill already
+        # materialized): decode them immediately instead of returning an
+        # empty plan.
+        return StepPlan(decode=[s for s in engine.running if s.prefill_done])
 
 
 SCHEDULERS: dict[str, type[Scheduler]] = {

@@ -99,6 +99,7 @@ class LengthDist:
         return cls("lognormal", low=low, high=high, median=median, sigma=sigma)
 
     def sample(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        """Draw ``n`` integer token counts (>= 1) using ``rng``."""
         if self.kind == "fixed":
             return np.full(n, self.low, dtype=int)
         if self.kind == "uniform":

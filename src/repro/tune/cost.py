@@ -29,12 +29,13 @@ True
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
 from ..gpu.inference import step_time
 from ..gpu.spec import GPUSpec, RTX5090
 from ..models.zoo import ArchSpec
-from ..serve.kvcache import kv_token_bytes
+from ..serve.kvcache import KVTransfer, kv_token_bytes
 from ..serve.recipe import QuantRecipe
 
 __all__ = ["RecipeCost", "CostModel"]
@@ -50,6 +51,9 @@ class RecipeCost:
     kv_bytes_per_token: float
     decode_step_s: float  # one decode iteration at full concurrency
     prefill_s: float  # one full-batch prefill (amortized into the score)
+    disaggregated: bool = False  # priced as a decode pool behind a KV link
+    transfer_bytes_per_request: float = 0.0  # migrated KV per admission
+    transfer_s_per_request: float = 0.0  # link time per migration
 
     @property
     def score(self) -> float:
@@ -57,7 +61,9 @@ class RecipeCost:
         return self.tokens_per_s
 
     def to_dict(self) -> dict:
-        return {
+        """JSON-friendly view; migration keys appear only when priced
+        disaggregated, so unified artifacts keep their historical shape."""
+        out = {
             "recipe": self.recipe_name,
             "tokens_per_s": self.tokens_per_s,
             "concurrency": self.concurrency,
@@ -65,6 +71,11 @@ class RecipeCost:
             "decode_step_ms": self.decode_step_s * 1e3,
             "prefill_ms": self.prefill_s * 1e3,
         }
+        if self.disaggregated:
+            out["disaggregated"] = True
+            out["transfer_bytes_per_request"] = self.transfer_bytes_per_request
+            out["transfer_ms_per_request"] = self.transfer_s_per_request * 1e3
+        return out
 
 
 @dataclass(frozen=True)
@@ -88,6 +99,18 @@ class CostModel:
       decode step also carries the batch's incoming prompt rows as a
       tagged chunk, priced by ``step_time``'s mixed-batch path (chunk and
       decode attention kernels separate).
+
+    ``disaggregated=True`` prices the **decode pool of a disaggregated
+    deployment** instead: prefill runs on a separate pool, so no prefill
+    (or chunk) time is amortized into the decode rate — but every
+    admission first migrates its KV (``prompt_len + 1`` tokens at the
+    recipe's exact bytes/token) over ``transfer`` (a
+    :class:`~repro.serve.kvcache.KVTransfer`; PCIe 5-class default), and
+    the link serializes: in steady state one request completes — and one
+    migrates in — per ``output_len`` generated tokens, so throughput is
+    the *minimum* of the compute rate and the interconnect's sustainable
+    admission rate. A leaner KV format therefore wins twice here: more
+    concurrency per page budget *and* fewer bytes per migration.
     """
 
     arch: ArchSpec
@@ -97,6 +120,8 @@ class CostModel:
     output_len: int = 128
     max_batch: int = 256
     scheduler: str = "prefill-first"
+    disaggregated: bool = False
+    transfer: KVTransfer | None = None
 
     def __post_init__(self) -> None:
         if self.scheduler not in (
@@ -105,6 +130,18 @@ class CostModel:
             "chunked-prefill",
         ):
             raise KeyError(f"unknown scheduler {self.scheduler!r} for CostModel")
+        if self.disaggregated and self.scheduler == "chunked-prefill":
+            # Chunked prefill is a *colocated* steady state (prompt chunks
+            # ride along with decode steps); a disaggregated decode pool
+            # runs pure decode steps, so the combination would silently
+            # price one thing while claiming another.
+            raise ValueError(
+                "disaggregated=True prices a pure-decode pool; "
+                "scheduler='chunked-prefill' does not apply — use the "
+                "default scheduler or drop disaggregation"
+            )
+        if self.disaggregated and self.transfer is None:
+            object.__setattr__(self, "transfer", KVTransfer())
 
     # ------------------------------------------------------------------
     def concurrency(self, recipe) -> int:
@@ -128,6 +165,34 @@ class CostModel:
             recipe,
             [(concurrency * self.prompt_len, self.prompt_len)],
         )
+        kv_bytes = kv_token_bytes(self.arch, recipe)
+        if self.disaggregated:
+            # Decode-pool steady state: prefill is someone else's problem,
+            # so every decode step is pure — but each completed request is
+            # replaced by a migrated one, and the serialized interconnect
+            # must sustain that admission rate.
+            transfer_bytes = kv_bytes * (self.prompt_len + 1)
+            transfer_s = self.transfer.transfer_s(transfer_bytes)
+            occupancy = self.transfer.occupancy_s(transfer_bytes)
+            compute_rate = concurrency / decode
+            if math.isinf(occupancy):
+                tokens_per_s = 0.0  # stalled link: nothing ever reaches decode
+            elif occupancy > 0:
+                link_rate = self.output_len / occupancy
+                tokens_per_s = min(compute_rate, link_rate)
+            else:
+                tokens_per_s = compute_rate
+            return RecipeCost(
+                recipe_name=recipe.name,
+                tokens_per_s=tokens_per_s,
+                concurrency=concurrency,
+                kv_bytes_per_token=kv_bytes,
+                decode_step_s=decode,
+                prefill_s=prefill,
+                disaggregated=True,
+                transfer_bytes_per_request=transfer_bytes,
+                transfer_s_per_request=transfer_s,
+            )
         if self.scheduler == "chunked-prefill":
             # Steady state under chunked prefill: each decode step also
             # carries the prompt rows entering the batch per generated
@@ -150,7 +215,7 @@ class CostModel:
             recipe_name=recipe.name,
             tokens_per_s=concurrency / per_token,
             concurrency=concurrency,
-            kv_bytes_per_token=kv_token_bytes(self.arch, recipe),
+            kv_bytes_per_token=kv_bytes,
             decode_step_s=decode,
             prefill_s=prefill,
         )
@@ -162,6 +227,8 @@ class CostModel:
         return recipe
 
     def to_dict(self) -> dict:
+        """Scenario parameters as JSON; non-default knobs only, so the
+        committed ``tune_frontier.json`` artifact stays byte-identical."""
         out = {
             "arch": self.arch.name,
             "gpu": self.spec.name,
@@ -174,4 +241,8 @@ class CostModel:
             # The default is omitted so pre-scheduler frontier artifacts
             # (benchmarks/results/tune_frontier.json) stay byte-identical.
             out["scheduler"] = self.scheduler
+        if self.disaggregated:
+            out["disaggregated"] = True
+            out["transfer_gb_s"] = self.transfer.bandwidth_gb_s
+            out["transfer_latency_s"] = self.transfer.latency_s
         return out

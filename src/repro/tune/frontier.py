@@ -68,6 +68,7 @@ class FrontierPoint:
 
     # ------------------------------------------------------------------
     def to_dict(self) -> dict:
+        """JSON view of the point (recipe serialized via ``to_dict``)."""
         out = {
             "recipe": self.recipe.to_dict(),
             "perplexity": self.perplexity,
@@ -81,6 +82,7 @@ class FrontierPoint:
 
     @staticmethod
     def from_dict(payload: dict) -> "FrontierPoint":
+        """Rebuild a point from its :meth:`to_dict` payload."""
         return FrontierPoint(
             recipe=QuantRecipe.from_dict(payload["recipe"]),
             perplexity=float(payload["perplexity"]),
@@ -135,10 +137,12 @@ class ParetoFrontier:
 
     # ------------------------------------------------------------------
     def to_payload(self) -> dict:
+        """JSON view of the whole frontier (ascending perplexity)."""
         return {"points": [p.to_dict() for p in self.points]}
 
     @staticmethod
     def from_payload(payload: dict) -> "ParetoFrontier":
+        """Rebuild a frontier from :meth:`to_payload` (re-checks dominance)."""
         frontier = ParetoFrontier()
         for entry in payload.get("points", []):
             frontier.add(FrontierPoint.from_dict(entry))
@@ -152,6 +156,7 @@ class ParetoFrontier:
 
     @staticmethod
     def load(path) -> "ParetoFrontier":
+        """Read a frontier back from :meth:`save` JSON."""
         return ParetoFrontier.from_payload(json.loads(Path(path).read_text()))
 
     # ------------------------------------------------------------------

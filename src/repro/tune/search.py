@@ -73,6 +73,8 @@ class Candidate:
     origin: str = "search"
 
     def point(self, measured_ppl: float) -> FrontierPoint:
+        """Promote the candidate to a :class:`FrontierPoint` once its
+        perplexity has been re-measured on the real numeric path."""
         return FrontierPoint(
             recipe=self.recipe,
             perplexity=measured_ppl,

@@ -85,6 +85,7 @@ class SensitivityReport:
     # ------------------------------------------------------------------
     @property
     def roles(self) -> list[str]:
+        """Profiled role names, sorted (e.g. layer groups, lm_head, kv)."""
         return [f"layer:{i}" for i in range(self.n_layers)] + ["lm_head", "kv"]
 
     def role_formats(self, role: str) -> tuple:
@@ -138,6 +139,7 @@ class SensitivityReport:
 
     # ------------------------------------------------------------------
     def to_payload(self) -> dict:
+        """JSON view of the report (the resumable cache format)."""
         return {
             "model": self.model,
             "corpus": self.corpus,
@@ -152,6 +154,7 @@ class SensitivityReport:
 
     @staticmethod
     def from_payload(payload: dict) -> "SensitivityReport":
+        """Rebuild a report from :meth:`to_payload` JSON."""
         return SensitivityReport(
             model=payload["model"],
             corpus=payload["corpus"],

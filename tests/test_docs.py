@@ -1,16 +1,20 @@
 """Documentation checks: doctests over the public `repro.serve` and
-`repro.tune` APIs and a markdown link check over README + docs/.
+`repro.tune` APIs, doctested tutorial pages (SERVING_GUIDE.md), the
+generated-API freshness + docstring-coverage gates, and a markdown link
+check over README + docs/.
 
 Runs in tier-1 and as the CI docs job, so examples in docstrings stay
-runnable and links stay unbroken.
+runnable, generated pages stay fresh, and links stay unbroken.
 """
 
 import doctest
+import importlib.util
 import re
 from pathlib import Path
 
 import pytest
 
+import repro.gpu.inference
 import repro.serve
 import repro.serve.cluster
 import repro.serve.engine
@@ -36,7 +40,21 @@ DOCTEST_MODULES = [
     repro.tune.cost,
     repro.tune.search,
     repro.tune.sensitivity,
+    repro.gpu.inference,
 ]
+
+#: Markdown pages whose ``>>>`` snippets must run (tutorial doctests).
+DOCTESTED_PAGES = ["docs/SERVING_GUIDE.md"]
+
+
+def _load_api_generator():
+    """Import benchmarks/make_api_reference.py (not an installed package)."""
+    spec = importlib.util.spec_from_file_location(
+        "make_api_reference", REPO / "benchmarks" / "make_api_reference.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
 
 
 @pytest.mark.parametrize("module", DOCTEST_MODULES, ids=lambda m: m.__name__)
@@ -44,6 +62,35 @@ def test_serve_doctests(module):
     results = doctest.testmod(module, verbose=False, report=True)
     assert results.attempted > 0, f"{module.__name__} has no doctests"
     assert results.failed == 0, f"{results.failed} doctest failure(s) in {module.__name__}"
+
+
+@pytest.mark.parametrize("page", DOCTESTED_PAGES)
+def test_markdown_page_doctests(page):
+    """Tutorial pages are executable: every `>>>` snippet must pass."""
+    results = doctest.testfile(
+        str(REPO / page), module_relative=False, verbose=False, report=True
+    )
+    assert results.attempted > 10, f"{page} lost its doctest snippets"
+    assert results.failed == 0, f"{results.failed} doctest failure(s) in {page}"
+
+
+def test_api_reference_docstring_coverage():
+    """Every public symbol/method/property in repro.serve + repro.tune
+    must carry a docstring (the generator aborts otherwise)."""
+    gen = _load_api_generator()
+    missing = gen.check_coverage()
+    assert not missing, f"undocumented public API: {missing}"
+
+
+def test_api_reference_is_fresh():
+    """docs/API.md must match a regeneration from the live docstrings
+    (the in-process mirror of the CI `git diff --exit-code` gate)."""
+    gen = _load_api_generator()
+    committed = (REPO / "docs" / "API.md").read_text()
+    assert committed == gen.build_api_md(), (
+        "docs/API.md is stale — regenerate with "
+        "`PYTHONPATH=src python benchmarks/make_api_reference.py`"
+    )
 
 
 def _markdown_files():
