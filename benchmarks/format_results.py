@@ -30,6 +30,17 @@ from pathlib import Path
 RESULTS_DIR = Path(__file__).parent / "results"
 REPO_ROOT = Path(__file__).resolve().parent.parent
 
+try:
+    from repro.bench.report import fmt_value as _fmt, markdown_table as _table
+    from repro.tune.pricing import get_gpu_price
+except ImportError:  # CI invokes this script without PYTHONPATH=src
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    from repro.bench.report import fmt_value as _fmt, markdown_table as _table
+    from repro.tune.pricing import get_gpu_price
+
+#: GPU price preset used for the tuned-winner $/Mtok column.
+PR_COMMENT_GPU = "rtx5090"
+
 #: artifacts surfaced in the headline serving summary, with the columns
 #: (json key -> table header) each contributes.
 SERVING_ARTIFACTS = {
@@ -44,23 +55,6 @@ SERVING_ARTIFACTS = {
         "avg_accuracy": "avg accuracy (%)",
     },
 }
-
-
-def _fmt(value) -> str:
-    if isinstance(value, bool):
-        return str(value)
-    if isinstance(value, float):
-        return f"{value:.4g}"
-    return str(value)
-
-
-def _table(headers: list[str], rows: list[list[str]]) -> str:
-    lines = [
-        "| " + " | ".join(headers) + " |",
-        "| " + " | ".join("---" for _ in headers) + " |",
-    ]
-    lines += ["| " + " | ".join(row) + " |" for row in rows]
-    return "\n".join(lines)
 
 
 def _load(name: str) -> dict | None:
@@ -146,6 +140,13 @@ def _delta_cell(current, committed) -> str:
     return f"{_fmt(current)}{flag}"
 
 
+def _mtok_cell(tokens_per_s) -> str:
+    """$/Mtok at the PR-comment price preset ("" for non-numeric rates)."""
+    if not isinstance(tokens_per_s, (int, float)):
+        return ""
+    return _fmt(get_gpu_price(PR_COMMENT_GPU).dollars_per_mtok(tokens_per_s))
+
+
 def render_pr_comment(ref: str = "HEAD") -> str:
     """Markdown summary of serving-metric deltas vs the committed results.
 
@@ -187,17 +188,23 @@ def render_pr_comment(ref: str = "HEAD") -> str:
                 str(winner.get("recipe", {}).get("name", "?")),
                 _delta_cell(winner.get("perplexity"), committed_winner.get("perplexity")),
                 _delta_cell(winner.get("tokens_per_s"), committed_winner.get("tokens_per_s")),
+                _mtok_cell(winner.get("tokens_per_s")),
             ],
             [
                 f"uniform {tune.get('baseline', 'mxfp4')}",
                 str(base.get("recipe", {}).get("name", "?")),
                 _fmt(base.get("perplexity", "")),
                 _fmt(base.get("tokens_per_s", "")),
+                _mtok_cell(base.get("tokens_per_s")),
             ],
         ]
         sections.append(
             "### `tune_frontier`\n\n"
-            + _table(["point", "recipe", "perplexity (Δ)", "tokens/s (Δ)"], rows)
+            + _table(
+                ["point", "recipe", "perplexity (Δ)", "tokens/s (Δ)",
+                 f"$/Mtok @ {PR_COMMENT_GPU}"],
+                rows,
+            )
         )
     return "\n\n".join(sections) + "\n"
 

@@ -1,4 +1,4 @@
-"""Generate docs/API.md from the `repro.serve` / `repro.tune` docstrings.
+"""Generate docs/API.md from the `repro.serve` / `repro.tune` / `repro.bench` docstrings.
 
 The reference is assembled from the packages' own ``__all__`` surfaces —
 one section per module, one entry per public symbol, with class entries
@@ -39,6 +39,13 @@ MODULES = [
     "repro.tune.cost",
     "repro.tune.search",
     "repro.tune.frontier",
+    "repro.tune.pricing",
+    "repro.bench",
+    "repro.bench.matrix",
+    "repro.bench.planner",
+    "repro.bench.runner",
+    "repro.bench.pricing",
+    "repro.bench.report",
 ]
 
 
@@ -88,7 +95,7 @@ def check_coverage() -> list[str]:
         if not (module.__doc__ or "").strip():
             missing.append(modname)
         for name, obj in public_symbols(module):
-            if not _is_local(obj, module) and modname in ("repro.serve", "repro.tune"):
+            if not _is_local(obj, module) and modname in ("repro.serve", "repro.tune", "repro.bench"):
                 continue  # package re-export: documented at its home module
             if not callable(obj) and not inspect.isclass(obj):
                 continue  # data constants (registries) documented in module text
@@ -132,7 +139,7 @@ def _render_symbol(lines: list[str], name: str, obj, module) -> None:
 def build_api_md() -> str:
     """Assemble the full reference page as one markdown string."""
     lines = [
-        "# API reference — `repro.serve` and `repro.tune`",
+        "# API reference — `repro.serve`, `repro.tune`, and `repro.bench`",
         "",
         "Generated from the package docstrings by",
         "`benchmarks/make_api_reference.py` — edit the docstrings, not this",
@@ -161,7 +168,7 @@ def build_api_md() -> str:
         lines.append(f"## `{modname}`\n")
         lines.append((inspect.getdoc(module) or "").strip() + "\n")
         symbols = public_symbols(module)
-        if modname in ("repro.serve", "repro.tune"):
+        if modname in ("repro.serve", "repro.tune", "repro.bench"):
             # The package __init__ re-exports its modules' surfaces; list
             # the names and point at their home sections instead of
             # duplicating every entry.

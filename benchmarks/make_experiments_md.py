@@ -64,6 +64,10 @@ BENCHMARK_INDEX: dict[str, tuple[str, str]] = {
         "beyond the paper",
         "autotuned per-layer mixed-precision recipe Pareto frontier",
     ),
+    "test_bench_sweep.py": (
+        "beyond the paper",
+        "canonical sweep matrix: recipes x schedulers x fleets priced in $/Mtok",
+    ),
     "test_encode_speed.py": (
         "infrastructure",
         "batched MX+ encode vs per-block reference (>=2x)",
@@ -657,6 +661,45 @@ def main() -> None:
             "A searched mixed MX+/MXFP recipe Pareto-dominates uniform MXFP4 "
             "(strictly lower perplexity, strictly higher simulated serving "
             "tokens/s); the artifact reproduces byte-identically from seed 0.",
+        )
+
+    bs = load("BENCH_sweep")
+    if bs:
+        rows = []
+        for cell in bs["cells"].values():
+            a, r = cell["axes"], cell["result"]
+            tag = ""
+            if cell is bs["cells"].get(bs.get("winner")):
+                tag = " **(winner)**"
+            elif cell is bs["cells"].get(bs.get("baseline")):
+                tag = " (baseline)"
+            rows.append(
+                f"- {a['recipe']} / {a['scheduler']} / {a['fleet']} / "
+                f"{a['interconnect']}{tag}: "
+                f"{f(r['pricing']['dollars_per_mtok'], 4)} $/Mtok, goodput "
+                f"{f(r['goodput_tok_s'], 0)} tok/s, p99 TTFT "
+                f"{f(r['p99_ttft_ms'], 1)} ms, SLO att. {f(r['slo_attainment'], 2)}"
+            )
+        perf = bs["perf"]
+        rows.append(
+            f"- wall clock (machine-dependent, excluded from identity checks): "
+            f"{f(perf['simulated_requests'], 0)} simulated requests at "
+            f"{f(perf['requests_per_wall_s'], 1)} req/s of real time"
+        )
+        section(
+            L,
+            "Beyond the paper — canonical sweep matrix ($/Mtok at SLO)",
+            "MLPerf-style declarative sweeps (recipes x schedulers x fleet "
+            "shapes x interconnects) turn the per-axis serving stories into "
+            "one priced comparison: every cell's $/Mtok derives from "
+            "CostModel x the committed GPU price table, never hand-entered.",
+            rows,
+            "The MX+ recipe is cheaper than BF16 in every matched cell "
+            "(~10x at this model scale) and wins the sweep at the SLO bar; "
+            "disaggregated cells record their KV-migration bytes (~3.6x "
+            "smaller for MX+); the deterministic sections regenerate "
+            "byte-identically from seed 0 and are gated by "
+            "`python -m repro.bench freshness` in CI.",
         )
 
     es = load("encode_speed")

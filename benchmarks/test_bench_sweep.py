@@ -1,0 +1,133 @@
+"""Canonical sweep benchmark: the full matrix→planner→runner→report pipeline.
+
+Runs the predeclared ``canonical`` :class:`repro.bench.SweepMatrix`
+(2 recipes × 2 schedulers × {unified 2r, disaggregated 1p1d} × 2
+interconnects, seed 0) end to end through the sweep orchestration layer
+and commits the aggregate as ``BENCH_sweep.json``.
+
+The artifact has two parts. The deterministic sections (``cells``,
+``winner``, ``pareto``, …) are a pure function of the matrix at seed 0 —
+this test regenerates them and asserts byte-identity against a second
+independent sweep, and the CI freshness gate
+(``python -m repro.bench freshness``) asserts the committed copy still
+matches the code. The ``perf`` section records the *wall-clock* side —
+how many simulated requests per real second this machine sustained — and
+is excluded from identity checks (same convention as the committed
+wall-clock numbers in ``tab06_encode_speed``).
+
+Every $/Mtok in the artifact is derived by
+:func:`repro.bench.pricing.price_cell` from :class:`repro.tune.cost.CostModel`
+composed with the committed :data:`repro.tune.pricing.GPU_PRICES` table —
+no dollar figure is hand-entered anywhere.
+"""
+
+import json
+import math
+
+from _util import print_table, run_once, save_result
+
+from repro.bench import (
+    aggregate,
+    canonical_payload,
+    get_matrix,
+    plan_sweep,
+    render_report,
+    run_sweep,
+)
+
+
+def _sweep_payload(tmp_path, name):
+    root = plan_sweep(get_matrix("canonical"), tmp_path, name=name).root
+    run_sweep(root)
+    return aggregate(root)
+
+
+def test_bench_sweep(benchmark, tmp_path):
+    payload = run_once(benchmark, lambda: _sweep_payload(tmp_path, "main"))
+    cells = payload["cells"]
+
+    dollars = {
+        cid: cell["result"]["pricing"]["dollars_per_mtok"]
+        for cid, cell in cells.items()
+    }
+    print_table("$/Mtok per cell (canonical sweep, seed 0)", dollars, "{:.4f}")
+    print_table(
+        "perf (wall clock, machine-dependent)",
+        {k: v for k, v in payload["perf"].items() if isinstance(v, float)},
+    )
+
+    # Assertions come before save_result so a failing run can never
+    # overwrite the committed artifact.
+    # The canonical matrix covers >=2 recipes x >=2 schedulers x 2
+    # interconnects and every cell completed.
+    assert len(cells) == 8
+    assert all(cell["status"] == "completed" for cell in cells.values())
+    axes = [cell["axes"] for cell in cells.values()]
+    assert {a["recipe"] for a in axes} == {"bf16", "mxfp4+"}
+    assert {a["scheduler"] for a in axes} == {"prefill-first", "chunked-prefill"}
+    assert {a["interconnect"] for a in axes} >= {"pcie5", "100gbe"}
+
+    # Wall-clock requests/sec really is recorded (and positive).
+    assert payload["perf"]["requests_per_wall_s"] > 0
+    assert payload["perf"]["simulated_requests"] == sum(
+        cell["result"]["requests"] for cell in cells.values()
+    )
+
+    # Every priced cell is finite and the MX+ recipe is cheaper than BF16
+    # on every matched cell — the paper's economics claim at fleet level.
+    assert all(math.isfinite(d) for d in dollars.values())
+
+    def by_axes(recipe, scheduler, fleet, link):
+        (cid,) = [
+            c for c, cell in cells.items()
+            if cell["axes"]["recipe"] == recipe
+            and cell["axes"]["scheduler"] == scheduler
+            and cell["axes"]["fleet"] == fleet
+            and cell["axes"]["interconnect"] == link
+        ]
+        return cells[cid]
+
+    for scheduler, fleet, link in (
+        ("prefill-first", "2r", "none"),
+        ("chunked-prefill", "2r", "none"),
+        ("prefill-first", "1p1d", "pcie5"),
+        ("prefill-first", "1p1d", "100gbe"),
+    ):
+        bf16 = by_axes("bf16", scheduler, fleet, link)
+        mxp = by_axes("mxfp4+", scheduler, fleet, link)
+        assert (
+            mxp["result"]["pricing"]["dollars_per_mtok"]
+            < bf16["result"]["pricing"]["dollars_per_mtok"]
+        )
+
+    # Disaggregated cells record KV migration; BF16 ships ~3.6x the
+    # bytes of MX+ (the KV-size ratio), and the slower link stalls more.
+    for recipe in ("bf16", "mxfp4+"):
+        pcie = by_axes(recipe, "prefill-first", "1p1d", "pcie5")["result"]
+        gbe = by_axes(recipe, "prefill-first", "1p1d", "100gbe")["result"]
+        assert pcie["transfer_bytes_per_request"] > 0
+        assert pcie["transfer_bytes_per_request"] == gbe["transfer_bytes_per_request"]
+        assert gbe["transfer_stall_s_total"] > pcie["transfer_stall_s_total"]
+    bf16_bytes = by_axes("bf16", "prefill-first", "1p1d", "pcie5")["result"][
+        "transfer_bytes_per_request"
+    ]
+    mxp_bytes = by_axes("mxfp4+", "prefill-first", "1p1d", "pcie5")["result"][
+        "transfer_bytes_per_request"
+    ]
+    assert bf16_bytes / mxp_bytes > 3.0
+
+    # A winner exists, meets the SLO bar, and the baseline cell resolved.
+    assert payload["winner"] in cells
+    assert payload["baseline"] in cells
+    assert cells[payload["winner"]]["result"]["slo_attainment"] >= 0.9
+
+    # Determinism: an independent second sweep reproduces the canonical
+    # sections byte for byte — the property resume and the freshness
+    # gate both rest on.
+    second = _sweep_payload(tmp_path, "again")
+    assert json.dumps(canonical_payload(payload), sort_keys=True) == json.dumps(
+        canonical_payload(second), sort_keys=True
+    )
+    assert render_report(payload) == render_report(second)
+
+    save_result("BENCH_sweep", payload)

@@ -1,0 +1,157 @@
+"""``python -m repro.bench`` — sweep CLI: plan / run / report / list / freshness.
+
+Typical session::
+
+    python -m repro.bench plan --matrix canonical --out sweeps
+    python -m repro.bench run  --matrix canonical --out sweeps --name nightly
+    python -m repro.bench report sweeps/nightly
+    python -m repro.bench list --out sweeps
+    python -m repro.bench freshness   # committed BENCH_sweep.json vs seed-0 regen
+
+``run`` plans (or resumes) and executes in one step, then writes
+``report.md`` next to the manifests; re-invoking it on the same sweep
+dir skips completed cells. ``freshness`` is the CI gate: it regenerates
+the canonical matrix into a temp dir and fails (exit 1) if the
+deterministic sections of ``benchmarks/results/BENCH_sweep.json`` no
+longer match what the code produces.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import tempfile
+from pathlib import Path
+
+from .matrix import available_matrices, get_matrix
+from .planner import list_sweeps, plan_sweep
+from .report import aggregate, canonical_payload, dump_payload, render_report
+from .runner import run_sweep
+
+REPO_ROOT = Path(__file__).resolve().parents[3]
+BENCH_SWEEP_JSON = REPO_ROOT / "benchmarks" / "results" / "BENCH_sweep.json"
+REPORT_MD = "report.md"
+
+
+def _cmd_plan(args) -> int:
+    plan = plan_sweep(get_matrix(args.matrix), args.out, name=args.name)
+    print(f"planned {len(plan.runs)} run(s) in {plan.root}")
+    for spec in plan.runs:
+        print(f"  {spec.cell_id}")
+    for skip in plan.skipped:
+        print(f"  skipped {'/'.join(skip['combo'])}: {skip['reason']}")
+    return 0
+
+
+def _cmd_run(args) -> int:
+    if args.sweep_dir:
+        root = Path(args.sweep_dir)
+    else:
+        root = plan_sweep(get_matrix(args.matrix), args.out, name=args.name).root
+    summary = run_sweep(root, max_runs=args.max_runs, progress=print)
+    payload = aggregate(root)
+    (root / REPORT_MD).write_text(render_report(payload))
+    print(
+        f"{summary['executed']} executed, {summary['skipped']} skipped, "
+        f"{summary['failed']} failed of {summary['planned']} planned "
+        f"({summary['wall_clock_s']:.2f}s) -> {root / REPORT_MD}"
+    )
+    return 1 if summary["failed"] else 0
+
+
+def _cmd_report(args) -> int:
+    payload = aggregate(args.sweep_dir)
+    if args.json:
+        print(dump_payload(payload), end="")
+    else:
+        print(render_report(payload), end="")
+    return 0
+
+
+def _cmd_list(args) -> int:
+    sweeps = list_sweeps(args.out)
+    if not sweeps:
+        print(f"no sweeps under {args.out}")
+        return 0
+    for entry in sweeps:
+        statuses = ", ".join(
+            f"{n} {s}" for s, n in sorted(entry["statuses"].items())
+        )
+        print(
+            f"{entry['sweep']}: matrix={entry['matrix']} "
+            f"runs={entry['runs']} ({statuses})"
+        )
+    return 0
+
+
+def _cmd_freshness(args) -> int:
+    if not BENCH_SWEEP_JSON.exists():
+        print(f"missing committed artifact: {BENCH_SWEEP_JSON}")
+        return 1
+    committed = canonical_payload(json.loads(BENCH_SWEEP_JSON.read_text()))
+    with tempfile.TemporaryDirectory() as tmp:
+        root = plan_sweep(get_matrix("canonical"), tmp, name="freshness").root
+        run_sweep(root)
+        regenerated = canonical_payload(aggregate(root))
+    a = json.dumps(committed, sort_keys=True)
+    b = json.dumps(regenerated, sort_keys=True)
+    if a != b:
+        print(
+            "STALE: benchmarks/results/BENCH_sweep.json no longer matches a "
+            "seed-0 regeneration of the canonical matrix.\n"
+            "Regenerate it with:\n"
+            "  PYTHONPATH=src python -m pytest benchmarks/test_bench_sweep.py -q"
+        )
+        return 1
+    print("fresh: BENCH_sweep.json matches seed-0 regeneration")
+    return 0
+
+
+def main(argv=None) -> int:
+    """CLI entry point (returns the process exit code)."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Sweep-matrix orchestration: plan, run (resumable), report.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    matrices = sorted(available_matrices())
+
+    p = sub.add_parser("plan", help="expand a matrix into a sweep dir")
+    p.add_argument("--matrix", default="canonical", choices=matrices)
+    p.add_argument("--out", default="sweeps", help="parent dir for sweep dirs")
+    p.add_argument("--name", default=None, help="stable sweep dir name")
+    p.set_defaults(func=_cmd_plan)
+
+    p = sub.add_parser("run", help="plan (or resume) and execute a sweep")
+    p.add_argument("sweep_dir", nargs="?", default=None,
+                   help="existing sweep dir to resume (else plan fresh)")
+    p.add_argument("--matrix", default="canonical", choices=matrices)
+    p.add_argument("--out", default="sweeps")
+    p.add_argument("--name", default=None)
+    p.add_argument("--max-runs", type=int, default=None,
+                   help="stop after N executions (sweep stays resumable)")
+    p.set_defaults(func=_cmd_run)
+
+    p = sub.add_parser("report", help="render a sweep dir's markdown report")
+    p.add_argument("sweep_dir")
+    p.add_argument("--json", action="store_true",
+                   help="print the aggregated JSON payload instead")
+    p.set_defaults(func=_cmd_report)
+
+    p = sub.add_parser("list", help="list sweep dirs and their statuses")
+    p.add_argument("--out", default="sweeps")
+    p.set_defaults(func=_cmd_list)
+
+    p = sub.add_parser(
+        "freshness",
+        help="fail if committed BENCH_sweep.json is stale vs seed-0 regen",
+    )
+    p.set_defaults(func=_cmd_freshness)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,485 @@
+"""Declarative sweep matrices: a validated grid of serving scenarios.
+
+A :class:`SweepMatrix` is the single declarative front door to every
+scenario the simulator supports: it crosses **recipes** (named
+:class:`~repro.serve.QuantRecipe` configurations — the same move as
+NVIDIA's "recipes for pre-training with MXFP8": format choices become
+named, sweepable objects), **schedulers**, **interconnects**,
+**fleet shapes**, and **workload presets** into a deduplicated list of
+frozen :class:`RunSpec` cells with stable ids. Everything downstream
+(:mod:`~repro.bench.planner`, :mod:`~repro.bench.runner`,
+:mod:`~repro.bench.report`) keys off those ids, so a sweep can be
+interrupted, resumed, and re-rendered without ever re-deriving which
+cell is which.
+
+Expansion is *normalizing*: a unified (colocated) fleet has no
+prefill→decode link, so its interconnect axis value collapses to
+``"none"`` and the duplicate cells fold together; combinations the
+simulator rejects (chunked prefill on a disaggregated decode pool, a
+disaggregated fleet with no link) are dropped deterministically and
+reported, never silently.
+
+>>> matrix = get_matrix("smoke")
+>>> runs, skipped = matrix.expand()
+>>> len(runs), len(skipped)
+(4, 0)
+>>> runs[0].cell_id == matrix.expand()[0][0].cell_id  # stable ids
+True
+>>> FleetShape.parse("2p4d").total_gpus
+6
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import re
+from dataclasses import asdict, dataclass
+
+from ..models.zoo import ARCHS
+from ..serve import (
+    INTERCONNECTS,
+    QuantRecipe,
+    available_schedulers,
+    chat_workload,
+    long_prompt_workload,
+    make_workload,
+)
+from ..tune.pricing import get_gpu_price
+
+__all__ = [
+    "FleetShape",
+    "RunSpec",
+    "SweepMatrix",
+    "WORKLOADS",
+    "available_workloads",
+    "build_workload",
+    "MATRICES",
+    "available_matrices",
+    "get_matrix",
+]
+
+#: Interconnect axis value meaning "colocated — no prefill→decode link".
+UNIFIED = "none"
+
+
+@dataclass(frozen=True)
+class FleetShape:
+    """A fleet-shape axis value: ``"<N>r"`` unified or ``"<P>p<D>d`` pools.
+
+    >>> FleetShape.parse("2r")
+    FleetShape(n_replicas=2, n_prefill=0, n_decode=0)
+    >>> FleetShape.parse("1p2d").disaggregated
+    True
+    >>> FleetShape.parse("3x")
+    Traceback (most recent call last):
+        ...
+    ValueError: unknown fleet shape '3x' (use '<N>r' or '<P>p<D>d')
+    """
+
+    n_replicas: int = 1
+    n_prefill: int = 0
+    n_decode: int = 0
+
+    @classmethod
+    def parse(cls, label: str) -> "FleetShape":
+        """Parse a fleet label (``"4r"``, ``"2p2d"``) into a shape."""
+        m = re.fullmatch(r"(\d+)r", label)
+        if m:
+            n = int(m.group(1))
+            if n < 1:
+                raise ValueError("fleet needs at least one replica")
+            return cls(n_replicas=n)
+        m = re.fullmatch(r"(\d+)p(\d+)d", label)
+        if m:
+            p, d = int(m.group(1)), int(m.group(2))
+            if p < 1 or d < 1:
+                raise ValueError("disaggregated fleet needs >=1 of each pool")
+            return cls(n_replicas=p + d, n_prefill=p, n_decode=d)
+        raise ValueError(
+            f"unknown fleet shape {label!r} (use '<N>r' or '<P>p<D>d')"
+        )
+
+    @property
+    def disaggregated(self) -> bool:
+        """Whether this shape splits prefill and decode pools."""
+        return self.n_prefill > 0
+
+    @property
+    def total_gpus(self) -> int:
+        """GPUs billed by the hour while this fleet runs."""
+        return self.n_replicas
+
+    @property
+    def n_generating(self) -> int:
+        """Replicas that emit output tokens (decode pool, or everyone)."""
+        return self.n_decode if self.disaggregated else self.n_replicas
+
+    @property
+    def label(self) -> str:
+        """The canonical axis string this shape round-trips to.
+
+        >>> FleetShape.parse("1p2d").label
+        '1p2d'
+        """
+        if self.disaggregated:
+            return f"{self.n_prefill}p{self.n_decode}d"
+        return f"{self.n_replicas}r"
+
+
+#: Workload preset registry: name -> seeded Request-list factory.
+WORKLOADS: dict[str, object] = {
+    "chat": lambda n, seed: chat_workload(n, seed=seed),
+    "steady": lambda n, seed: make_workload(
+        n, seed=seed, arrival="poisson", rate_rps=20.0
+    ),
+    "bursty": lambda n, seed: make_workload(
+        n, seed=seed, arrival="bursty", rate_rps=40.0, burst_size=8
+    ),
+    "long-prompt": lambda n, seed: long_prompt_workload(n, seed=seed),
+}
+
+
+def available_workloads() -> list[str]:
+    """Sorted names of the sweepable workload presets.
+
+    >>> available_workloads()
+    ['bursty', 'chat', 'long-prompt', 'steady']
+    """
+    return sorted(WORKLOADS)
+
+
+def build_workload(preset: str, n: int, seed: int):
+    """Materialize a workload preset into its seeded request list.
+
+    The same ``(preset, n, seed)`` always yields the identical list —
+    the workload half of a cell's determinism guarantee.
+
+    >>> a = build_workload("chat", 4, 0)
+    >>> b = build_workload("chat", 4, 0)
+    >>> a == b and len(a) == 4
+    True
+    """
+    if preset not in WORKLOADS:
+        raise KeyError(
+            f"unknown workload preset {preset!r} "
+            f"(available: {', '.join(available_workloads())})"
+        )
+    return WORKLOADS[preset](n, seed)
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One fully-resolved sweep cell: everything a run needs, frozen.
+
+    A spec is pure data (axis values + scenario scalars); executing it
+    is :func:`repro.bench.runner.execute_run`'s job. Its
+    :attr:`cell_id` is derived entirely from the spec's content, so the
+    same cell declared by two different matrices (or two invocations of
+    the same matrix) lands in the same manifest directory — the property
+    resume/skip and cross-sweep dedup both rest on.
+    """
+
+    recipe: str
+    scheduler: str
+    interconnect: str  # "none" (colocated) or an INTERCONNECTS preset
+    fleet: str  # FleetShape label
+    workload: str  # WORKLOADS preset
+    n_requests: int
+    seed: int
+    arch: str
+    page_budget_gib: float
+    block_tokens: int
+    gpu_price: str
+    ttft_slo_s: float
+    tpot_slo_s: float
+
+    @property
+    def fleet_shape(self) -> FleetShape:
+        """The parsed :class:`FleetShape` behind the ``fleet`` label."""
+        return FleetShape.parse(self.fleet)
+
+    @property
+    def disaggregated(self) -> bool:
+        """Whether the cell runs split prefill/decode pools."""
+        return self.fleet_shape.disaggregated
+
+    def to_dict(self) -> dict:
+        """JSON round-trip view (the manifest's ``spec`` block)."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "RunSpec":
+        """Rebuild a spec from :meth:`to_dict` output (exact inverse)."""
+        return cls(**payload)
+
+    @property
+    def cell_id(self) -> str:
+        """Stable, filesystem-safe id derived from the spec content.
+
+        Readable axes prefix + an 8-hex digest over the canonical JSON
+        of *all* fields, so two specs differing only in a scalar (page
+        budget, SLO) still get distinct directories.
+        """
+        slug = (
+            f"{self.workload}{self.n_requests}-{self.recipe}-{self.scheduler}"
+            f"-{self.fleet}-{self.interconnect}-s{self.seed}"
+        )
+        digest = hashlib.sha256(
+            json.dumps(self.to_dict(), sort_keys=True).encode()
+        ).hexdigest()[:8]
+        return f"{slug}-{digest}"
+
+    def axes(self) -> dict:
+        """The five matrix axis values of this cell (report group keys)."""
+        return {
+            "recipe": self.recipe,
+            "scheduler": self.scheduler,
+            "interconnect": self.interconnect,
+            "fleet": self.fleet,
+            "workload": self.workload,
+        }
+
+
+@dataclass(frozen=True)
+class SweepMatrix:
+    """A declarative grid of serving scenarios, validated at construction.
+
+    Axis fields (``recipes`` … ``workloads``) are crossed by
+    :meth:`expand`; the scalar fields (request count, seed, arch, page
+    budget, price, SLOs) apply to every cell. Validation happens in
+    ``__post_init__`` against the live registries — an unknown recipe or
+    scheduler fails the *declaration*, not the 37th run of a sweep.
+
+    >>> m = SweepMatrix(name="t", recipes=("mxfp4+",),
+    ...                 schedulers=("prefill-first",))
+    >>> [r.cell_id for r in m.expand()[0]] == [r.cell_id for r in m.expand()[0]]
+    True
+    >>> SweepMatrix(name="bad", schedulers=("not-a-scheduler",))
+    Traceback (most recent call last):
+        ...
+    KeyError: "unknown scheduler 'not-a-scheduler' (available: chunked-prefill, decode-priority, prefill-first)"
+    """
+
+    name: str
+    recipes: tuple = ("bf16", "mxfp4+")
+    schedulers: tuple = ("prefill-first",)
+    interconnects: tuple = (UNIFIED,)
+    fleets: tuple = ("1r",)
+    workloads: tuple = ("bursty",)
+    n_requests: int = 24
+    seed: int = 0
+    arch: str = "llama-2-13b"
+    page_budget_gib: float = 1.0
+    block_tokens: int = 16
+    gpu_price: str = "rtx5090"
+    ttft_slo_s: float = 2.0
+    tpot_slo_s: float = 0.5
+    baseline: dict | None = None  # axis values naming the Δ-reference cell
+
+    def __post_init__(self) -> None:
+        # Coerce JSON-borne lists so frozen specs hash/compare cleanly.
+        for axis in ("recipes", "schedulers", "interconnects", "fleets",
+                     "workloads"):
+            object.__setattr__(self, axis, tuple(getattr(self, axis)))
+            if not getattr(self, axis):
+                raise ValueError(f"matrix axis {axis!r} must be non-empty")
+        for recipe in self.recipes:
+            QuantRecipe.from_name(recipe)  # raises with suggestions
+        for sched in self.schedulers:
+            if sched not in available_schedulers():
+                raise KeyError(
+                    f"unknown scheduler {sched!r} "
+                    f"(available: {', '.join(available_schedulers())})"
+                )
+        for link in self.interconnects:
+            if link != UNIFIED and link not in INTERCONNECTS:
+                raise KeyError(
+                    f"unknown interconnect {link!r} (available: "
+                    f"{UNIFIED}, {', '.join(sorted(INTERCONNECTS))})"
+                )
+        for fleet in self.fleets:
+            FleetShape.parse(fleet)
+        for preset in self.workloads:
+            if preset not in WORKLOADS:
+                raise KeyError(
+                    f"unknown workload preset {preset!r} "
+                    f"(available: {', '.join(available_workloads())})"
+                )
+        if self.arch not in ARCHS:
+            raise KeyError(
+                f"unknown arch {self.arch!r} (available: {', '.join(ARCHS)})"
+            )
+        get_gpu_price(self.gpu_price)  # raises on unknown preset
+        if self.n_requests < 1:
+            raise ValueError("n_requests must be >= 1")
+        if self.page_budget_gib <= 0:
+            raise ValueError("page_budget_gib must be > 0")
+        if self.ttft_slo_s <= 0 or self.tpot_slo_s <= 0:
+            raise ValueError("SLO targets must be > 0")
+        if self.baseline is not None:
+            unknown = set(self.baseline) - {
+                "recipe", "scheduler", "interconnect", "fleet", "workload"
+            }
+            if unknown:
+                raise ValueError(f"baseline names unknown axes {sorted(unknown)}")
+
+    # ------------------------------------------------------------------
+    def _spec(self, workload, recipe, scheduler, fleet, interconnect) -> RunSpec:
+        return RunSpec(
+            recipe=recipe,
+            scheduler=scheduler,
+            interconnect=interconnect,
+            fleet=fleet,
+            workload=workload,
+            n_requests=self.n_requests,
+            seed=self.seed,
+            arch=self.arch,
+            page_budget_gib=self.page_budget_gib,
+            block_tokens=self.block_tokens,
+            gpu_price=self.gpu_price,
+            ttft_slo_s=self.ttft_slo_s,
+            tpot_slo_s=self.tpot_slo_s,
+        )
+
+    def expand(self) -> tuple[list[RunSpec], list[dict]]:
+        """Cross the axes into deduplicated, normalized :class:`RunSpec`\\ s.
+
+        Returns ``(runs, skipped)``: ``runs`` in declaration order with
+        duplicates (after normalization) folded onto their first
+        occurrence, ``skipped`` recording every infeasible combination
+        with its reason — silent truncation would make a grid report lie
+        about its own coverage.
+        """
+        runs: list[RunSpec] = []
+        seen: set[str] = set()
+        skipped: list[dict] = []
+        for workload in self.workloads:
+            for recipe in self.recipes:
+                for scheduler in self.schedulers:
+                    for fleet in self.fleets:
+                        shape = FleetShape.parse(fleet)
+                        for link in self.interconnects:
+                            if not shape.disaggregated:
+                                # No prefill→decode link exists: the axis
+                                # value normalizes away (and the grid
+                                # duplicates fold together below).
+                                link = UNIFIED
+                            elif link == UNIFIED:
+                                skipped.append({
+                                    "combo": [workload, recipe, scheduler,
+                                              fleet, link],
+                                    "reason": "disaggregated fleet needs an "
+                                              "interconnect",
+                                })
+                                continue
+                            if shape.disaggregated and (
+                                scheduler == "chunked-prefill"
+                            ):
+                                skipped.append({
+                                    "combo": [workload, recipe, scheduler,
+                                              fleet, link],
+                                    "reason": "chunked prefill is a colocated "
+                                              "steady state; a disaggregated "
+                                              "decode pool runs pure decode",
+                                })
+                                continue
+                            spec = self._spec(
+                                workload, recipe, scheduler, fleet, link
+                            )
+                            if spec.cell_id in seen:
+                                continue
+                            seen.add(spec.cell_id)
+                            runs.append(spec)
+        return runs, skipped
+
+    def baseline_cell_id(self, runs: list[RunSpec]) -> str | None:
+        """Resolve the declared ``baseline`` axes to a cell id.
+
+        Raises if the baseline matches zero or multiple cells — a Δ
+        column against an ambiguous reference would be meaningless.
+        """
+        if self.baseline is None:
+            return None
+        matches = [
+            r for r in runs
+            if all(r.axes().get(k) == v for k, v in self.baseline.items())
+        ]
+        if len(matches) != 1:
+            raise ValueError(
+                f"baseline {self.baseline} matches {len(matches)} cells "
+                "(need exactly 1)"
+            )
+        return matches[0].cell_id
+
+    def to_dict(self) -> dict:
+        """JSON view (the sweep dir's ``sweep.json`` matrix block)."""
+        out = asdict(self)
+        for axis in ("recipes", "schedulers", "interconnects", "fleets",
+                     "workloads"):
+            out[axis] = list(out[axis])
+        return out
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "SweepMatrix":
+        """Rebuild (and re-validate) a matrix from :meth:`to_dict` JSON."""
+        return cls(**payload)
+
+
+#: The committed perf-trajectory sweep behind benchmarks/results/
+#: BENCH_sweep.json: 2 recipes x 2 schedulers x 2 interconnects, with
+#: both a colocated 2-replica fleet and a 1-prefill+1-decode pool pair.
+CANONICAL = SweepMatrix(
+    name="canonical",
+    recipes=("bf16", "mxfp4+"),
+    schedulers=("prefill-first", "chunked-prefill"),
+    interconnects=("pcie5", "100gbe"),
+    fleets=("2r", "1p1d"),
+    workloads=("chat",),
+    n_requests=24,
+    seed=0,
+    baseline={"recipe": "bf16", "scheduler": "prefill-first", "fleet": "2r"},
+)
+
+#: The CI smoke sweep: a tiny 2x2 (recipes x schedulers) that exercises
+#: the whole plan -> run -> report pipeline in seconds.
+SMOKE = SweepMatrix(
+    name="smoke",
+    recipes=("bf16", "mxfp4+"),
+    schedulers=("prefill-first", "chunked-prefill"),
+    interconnects=(UNIFIED,),
+    fleets=("1r",),
+    workloads=("bursty",),
+    n_requests=12,
+    seed=0,
+    baseline={"recipe": "bf16", "scheduler": "prefill-first"},
+)
+
+#: Named matrices runnable as ``python -m repro.bench run --matrix <name>``.
+MATRICES: dict[str, SweepMatrix] = {m.name: m for m in (CANONICAL, SMOKE)}
+
+
+def available_matrices() -> list[str]:
+    """Sorted names of the predeclared sweep matrices.
+
+    >>> available_matrices()
+    ['canonical', 'smoke']
+    """
+    return sorted(MATRICES)
+
+
+def get_matrix(name_or_matrix) -> SweepMatrix:
+    """Resolve a named matrix (or pass a :class:`SweepMatrix` through).
+
+    >>> get_matrix("canonical").name
+    'canonical'
+    """
+    if isinstance(name_or_matrix, SweepMatrix):
+        return name_or_matrix
+    key = str(name_or_matrix)
+    if key not in MATRICES:
+        raise KeyError(
+            f"unknown matrix {name_or_matrix!r} "
+            f"(available: {', '.join(available_matrices())})"
+        )
+    return MATRICES[key]

@@ -1,0 +1,210 @@
+"""Sweep planning: matrix → ordered run list → manifest-per-run sweep dir.
+
+The planner turns an expanded :class:`~repro.bench.matrix.SweepMatrix`
+into durable filesystem state::
+
+    <out_root>/<sweep-name>/
+        sweep.json                  # matrix + ordered cell ids + skips
+        runs/<cell_id>/manifest.json  # per-run status: planned|completed|failed
+
+One ``manifest.json`` per run is the whole coordination protocol: the
+runner claims work by reading it, records success or failure by
+rewriting it, and a re-invoked sweep resumes by skipping every manifest
+already marked ``completed``. Planning is **idempotent and
+resume-safe** — re-planning into an existing sweep dir preserves
+completed/failed manifests (their results are the thing a resumed sweep
+exists to keep) and only (re)writes the ``planned`` ones.
+
+Sweep dirs are timestamped by default (``20260808-093000-canonical``)
+so repeated invocations of the same matrix land side by side; pass
+``name=`` for a stable directory (tests, CI, resume-by-path).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from datetime import datetime
+from pathlib import Path
+
+from .matrix import RunSpec, SweepMatrix, get_matrix
+
+__all__ = [
+    "SweepPlan",
+    "plan_sweep",
+    "load_plan",
+    "read_manifest",
+    "write_manifest",
+    "list_sweeps",
+]
+
+SWEEP_FILE = "sweep.json"
+RUNS_DIR = "runs"
+MANIFEST = "manifest.json"
+
+
+@dataclass(frozen=True)
+class SweepPlan:
+    """A planned sweep: its directory, matrix, and ordered run list."""
+
+    root: Path  # the sweep directory (manifests live under runs/)
+    matrix: SweepMatrix
+    runs: tuple  # RunSpecs in execution order
+    skipped: tuple  # infeasible combos recorded by expansion
+    baseline: str | None  # resolved baseline cell id
+
+    @property
+    def cell_ids(self) -> list[str]:
+        """Ordered cell ids (the manifest directory names)."""
+        return [spec.cell_id for spec in self.runs]
+
+    def manifest_path(self, cell_id: str) -> Path:
+        """Path of one run's manifest file."""
+        return self.root / RUNS_DIR / cell_id / MANIFEST
+
+    def statuses(self) -> dict[str, str]:
+        """Current ``cell_id -> status`` map read from the manifests."""
+        return {
+            cid: read_manifest(self.root, cid)["status"]
+            for cid in self.cell_ids
+        }
+
+
+def _write_json(path: Path, payload: dict) -> None:
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+
+def plan_sweep(
+    matrix, out_root, name: str | None = None, now: datetime | None = None
+) -> SweepPlan:
+    """Expand ``matrix`` and lay out its sweep directory.
+
+    ``matrix`` is a :class:`SweepMatrix` or a predeclared matrix name;
+    ``out_root`` the parent under which the sweep dir is created (named
+    ``name`` if given, else timestamped). Completed or failed manifests
+    already present (same cell ids — resume) are left untouched.
+
+    Returns the :class:`SweepPlan`; planning never executes anything.
+    """
+    matrix = get_matrix(matrix)
+    runs, skipped = matrix.expand()
+    baseline = matrix.baseline_cell_id(runs)
+    stamp = (now or datetime.now()).strftime("%Y%m%d-%H%M%S")
+    root = Path(out_root) / (name or f"{stamp}-{matrix.name}")
+    root.mkdir(parents=True, exist_ok=True)
+    _write_json(
+        root / SWEEP_FILE,
+        {
+            "matrix": matrix.to_dict(),
+            "runs": [spec.cell_id for spec in runs],
+            "skipped_infeasible": list(skipped),
+            "baseline": baseline,
+            "created": (now or datetime.now()).isoformat(timespec="seconds"),
+        },
+    )
+    for spec in runs:
+        path = root / RUNS_DIR / spec.cell_id / MANIFEST
+        if path.exists():
+            continue  # resume: a prior status (and result) is preserved
+        _write_json(
+            path,
+            {
+                "cell_id": spec.cell_id,
+                "spec": spec.to_dict(),
+                "status": "planned",
+                "result": None,
+                "error": None,
+                "wall_clock_s": None,
+                "finished_at": None,
+            },
+        )
+    return SweepPlan(
+        root=root,
+        matrix=matrix,
+        runs=tuple(runs),
+        skipped=tuple(skipped),
+        baseline=baseline,
+    )
+
+
+def load_plan(sweep_dir) -> SweepPlan:
+    """Rebuild a :class:`SweepPlan` from an existing sweep directory.
+
+    The run *order* comes from ``sweep.json`` (what the planner chose),
+    the specs from each run's manifest — so a loaded plan executes
+    exactly the cells the original planning call laid out.
+    """
+    root = Path(sweep_dir)
+    sweep_path = root / SWEEP_FILE
+    if not sweep_path.exists():
+        raise FileNotFoundError(f"{root} is not a sweep dir (no {SWEEP_FILE})")
+    meta = json.loads(sweep_path.read_text())
+    matrix = SweepMatrix.from_dict(meta["matrix"])
+    runs = tuple(
+        RunSpec.from_dict(read_manifest(root, cid)["spec"])
+        for cid in meta["runs"]
+    )
+    return SweepPlan(
+        root=root,
+        matrix=matrix,
+        runs=runs,
+        skipped=tuple(meta.get("skipped_infeasible", [])),
+        baseline=meta.get("baseline"),
+    )
+
+
+def read_manifest(sweep_dir, cell_id: str) -> dict:
+    """Read one run's manifest (raises if the cell was never planned)."""
+    path = Path(sweep_dir) / RUNS_DIR / cell_id / MANIFEST
+    if not path.exists():
+        raise FileNotFoundError(f"no manifest for cell {cell_id!r} in {sweep_dir}")
+    return json.loads(path.read_text())
+
+
+def write_manifest(sweep_dir, cell_id: str, payload: dict) -> None:
+    """Atomically replace one run's manifest.
+
+    Written via a temp file + rename so an interrupted sweep can never
+    leave a half-written manifest that a resume would misread as state.
+    """
+    path = Path(sweep_dir) / RUNS_DIR / cell_id / MANIFEST
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_suffix(".json.tmp")
+    tmp.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    tmp.replace(path)
+
+
+def list_sweeps(out_root) -> list[dict]:
+    """Summarize every sweep dir under ``out_root`` (newest-name last).
+
+    Each entry carries the sweep's name, matrix name, and a status
+    histogram over its manifests — what ``python -m repro.bench list``
+    prints.
+    """
+    root = Path(out_root)
+    out = []
+    if not root.exists():
+        return out
+    for child in sorted(root.iterdir()):
+        if not (child / SWEEP_FILE).exists():
+            continue
+        meta = json.loads((child / SWEEP_FILE).read_text())
+        counts: dict[str, int] = {}
+        for cid in meta.get("runs", []):
+            try:
+                status = read_manifest(child, cid)["status"]
+            except FileNotFoundError:
+                status = "missing"
+            counts[status] = counts.get(status, 0) + 1
+        out.append(
+            {
+                "sweep": child.name,
+                "path": str(child),
+                "matrix": meta.get("matrix", {}).get("name", "?"),
+                "runs": len(meta.get("runs", [])),
+                "statuses": counts,
+                "created": meta.get("created"),
+            }
+        )
+    return out

@@ -1,0 +1,84 @@
+"""Cell pricing: CostModel × the committed GPU price table → $/Mtok.
+
+Every dollar figure in a sweep report is derived here, and only here:
+the cell's scenario is rebuilt as a :class:`repro.tune.cost.CostModel`
+(same scheduler, same page budget, same interconnect as the simulated
+fleet), priced with :meth:`CostModel.dollars_per_mtok` against the
+committed :data:`repro.tune.pricing.GPU_PRICES` table, and scaled to the
+fleet — **no $/Mtok number is ever hand-entered**.
+
+Fleet scaling is the one piece the single-GPU cost model cannot see: a
+disaggregated deployment bills its prefill GPUs by the hour even though
+only the decode pool emits tokens, so the per-GPU price is multiplied by
+``total_gpus / n_generating``. For a unified fleet that factor is 1 —
+N replicas generate N× the tokens of one and cost N× as much.
+
+>>> from .matrix import get_matrix
+>>> runs, _ = get_matrix("smoke").expand()
+>>> cell = price_cell(runs[0])
+>>> sorted(cell)
+['dollars_per_mtok', 'fleet_gpus', 'gpu_price', 'model_tokens_per_s', 'usd_per_hour']
+>>> cell["dollars_per_mtok"] > 0
+True
+"""
+
+from __future__ import annotations
+
+from ..models.zoo import ARCHS
+from ..serve import get_interconnect
+from ..tune.cost import CostModel
+from ..tune.pricing import get_gpu_price
+from .matrix import RunSpec, UNIFIED
+
+__all__ = ["cost_model_for", "price_cell"]
+
+GIB = 1 << 30
+
+
+def cost_model_for(spec: RunSpec) -> CostModel:
+    """The steady-state :class:`CostModel` matching one cell's scenario.
+
+    Shares the cell's architecture, per-replica page budget, scheduler,
+    and (for disaggregated fleets) its priced interconnect, so the
+    analytic $/Mtok prices exactly the deployment the event-loop
+    simulator ran.
+    """
+    arch = ARCHS[spec.arch]
+    shape = spec.fleet_shape
+    kwargs: dict = {
+        "arch": arch,
+        "page_budget_bytes": float(spec.page_budget_gib * GIB),
+        "scheduler": spec.scheduler,
+    }
+    if shape.disaggregated:
+        if spec.interconnect == UNIFIED:
+            raise ValueError(
+                f"cell {spec.cell_id} is disaggregated but has no interconnect"
+            )
+        kwargs["disaggregated"] = True
+        kwargs["transfer"] = get_interconnect(spec.interconnect)
+    return CostModel(**kwargs)
+
+
+def price_cell(spec: RunSpec) -> dict:
+    """Price one cell: fleet-scaled $/Mtok at the cell's TPOT SLO.
+
+    Returns the pricing block of the cell's result payload — the
+    model-side throughput, the price preset used, and the headline
+    ``dollars_per_mtok`` (``inf`` when the steady state cannot meet the
+    TPOT SLO: an infeasible deployment has no finite serving price).
+    """
+    model = cost_model_for(spec)
+    price = get_gpu_price(spec.gpu_price)
+    shape = spec.fleet_shape
+    per_gpu = model.dollars_per_mtok(
+        spec.recipe, price, tpot_slo_s=spec.tpot_slo_s
+    )
+    cost = model.evaluate(spec.recipe)
+    return {
+        "dollars_per_mtok": per_gpu * shape.total_gpus / shape.n_generating,
+        "model_tokens_per_s": cost.tokens_per_s,
+        "gpu_price": price.name,
+        "usd_per_hour": price.usd_per_hour,
+        "fleet_gpus": shape.total_gpus,
+    }

@@ -413,6 +413,16 @@ class FleetResult:
         return self.total_tokens / self.makespan_s if self.makespan_s else 0.0
 
     @property
+    def requests_per_s(self) -> float:
+        """Completed requests per second of virtual wall-clock.
+
+        The fleet-level service rate `repro.bench` sweep cells record
+        alongside token throughput — request-shaped SLOs (and prices)
+        care about completions, not just tokens.
+        """
+        return len(self.responses) / self.makespan_s if self.makespan_s else 0.0
+
+    @property
     def mean_ttft_s(self) -> float:
         """Mean time-to-first-token over all responses (seconds)."""
         if not self.responses:

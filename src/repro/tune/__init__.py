@@ -39,6 +39,7 @@ from ..models.zoo import ARCHS, PROFILES, get_corpus, load_model
 from ..serve.recipe import QuantRecipe
 from .cost import CostModel, RecipeCost
 from .frontier import FrontierPoint, ParetoFrontier
+from .pricing import GPU_PRICES, GPUPrice, available_gpu_prices, get_gpu_price
 from .search import (
     DEFAULT_LADDER,
     KV_LADDER,
@@ -58,6 +59,10 @@ __all__ = [
     "TuneResult",
     "CostModel",
     "RecipeCost",
+    "GPUPrice",
+    "GPU_PRICES",
+    "available_gpu_prices",
+    "get_gpu_price",
     "FrontierPoint",
     "ParetoFrontier",
     "SensitivityReport",

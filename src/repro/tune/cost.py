@@ -220,6 +220,48 @@ class CostModel:
             prefill_s=prefill,
         )
 
+    def dollars_per_mtok(
+        self,
+        recipe,
+        price="rtx5090",
+        n_gpus: int = 1,
+        tpot_slo_s: float | None = None,
+    ) -> float:
+        """USD per million generated tokens for this steady state.
+
+        Composes :meth:`evaluate` with the committed GPU price table
+        (:mod:`repro.tune.pricing`): the recipe's steady-state
+        ``tokens_per_s`` on one GPU of this scenario, billed at
+        ``price`` (a preset name or :class:`~repro.tune.pricing.GPUPrice`)
+        across ``n_gpus`` — the hook every sweep-report dollar figure
+        derives from, so no $/Mtok number is ever hand-entered.
+
+        ``tpot_slo_s`` prices *at an SLO*: the steady-state
+        time-per-output-token is ``concurrency / tokens_per_s`` (each
+        resident request receives one token per full-batch decode
+        round), and a scenario whose steady state violates the SLO is
+        infeasible — it prices at ``inf`` rather than reporting a cheap
+        rate no compliant deployment could achieve.
+
+        >>> from repro.models.zoo import ARCHS
+        >>> cost = CostModel(ARCHS["llama-2-13b"])
+        >>> cost.dollars_per_mtok("mxfp4+") < cost.dollars_per_mtok("bf16")
+        True
+        >>> cost.dollars_per_mtok("mxfp4+", tpot_slo_s=1e-9)
+        inf
+        """
+        from .pricing import get_gpu_price
+
+        cost = self.evaluate(recipe)
+        if tpot_slo_s is not None:
+            if cost.tokens_per_s <= 0:
+                return math.inf
+            if cost.concurrency / cost.tokens_per_s > tpot_slo_s:
+                return math.inf
+        return get_gpu_price(price).dollars_per_mtok(
+            cost.tokens_per_s, n_gpus=n_gpus
+        )
+
     @staticmethod
     def _coerce(recipe) -> QuantRecipe:
         if isinstance(recipe, str):

@@ -1,0 +1,107 @@
+"""GPU price table: the $/hr inputs that turn throughput into $/Mtok.
+
+Every serving claim in this repo ultimately cashes out in dollars: a
+recipe that fits more concurrent requests per GPU serves a million
+generated tokens for less money. This module is the committed price
+table that conversion runs through — flat on-demand $/hr figures for the
+GPU classes the sweep reports price against, frozen as code so that
+every ``$/Mtok`` number in a committed artifact derives from a reviewed
+constant rather than a hand-entered cell.
+
+The conversion itself lives on :class:`GPUPrice`:
+
+``$/Mtok = n_gpus * usd_per_hour / 3600 / tokens_per_s * 1e6``
+
+and composes with :meth:`repro.tune.cost.CostModel.dollars_per_mtok`
+(steady-state model throughput) or any measured fleet rate from
+:class:`repro.serve.ServingCluster`.
+
+>>> price = get_gpu_price("h100")
+>>> round(price.dollars_per_mtok(4000.0), 3)  # 4000 tok/s on one H100
+0.208
+>>> get_gpu_price("rtx5090").usd_per_hour < price.usd_per_hour
+True
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+__all__ = ["GPUPrice", "GPU_PRICES", "available_gpu_prices", "get_gpu_price"]
+
+
+@dataclass(frozen=True)
+class GPUPrice:
+    """One GPU class's rental price and its throughput→dollars conversion.
+
+    ``usd_per_hour`` is a flat on-demand figure (no spot/reserved
+    modelling); the class exists so every pricing path shares one
+    formula instead of re-deriving the unit conversion.
+
+    >>> GPUPrice("h100", 2.99).dollars_per_mtok(1e6)  # 1 Mtok/s
+    0.0008305555555555556
+    >>> GPUPrice("h100", 2.99).dollars_per_mtok(0.0)
+    inf
+    """
+
+    name: str
+    usd_per_hour: float
+
+    def __post_init__(self) -> None:
+        if self.usd_per_hour < 0 or math.isinf(self.usd_per_hour):
+            raise ValueError("usd_per_hour must be finite and >= 0")
+
+    def dollars_per_mtok(self, tokens_per_s: float, n_gpus: int = 1) -> float:
+        """USD per million generated tokens at a sustained token rate.
+
+        ``tokens_per_s`` is the *fleet* generation rate and ``n_gpus``
+        the GPUs being paid for while sustaining it (prefill-pool GPUs
+        in a disaggregated deployment generate no tokens but still bill
+        by the hour). A non-positive rate prices at ``inf`` — a fleet
+        that generates nothing serves tokens at unbounded cost.
+        """
+        if n_gpus < 1:
+            raise ValueError("n_gpus must be >= 1")
+        if tokens_per_s <= 0:
+            return math.inf
+        return n_gpus * self.usd_per_hour / 3600.0 / tokens_per_s * 1e6
+
+
+#: Flat on-demand $/hr presets per GPU class (single source of truth for
+#: every committed $/Mtok figure; extend here, never inline a price).
+GPU_PRICES: dict[str, GPUPrice] = {
+    "h100": GPUPrice("h100", 2.99),
+    "a100": GPUPrice("a100", 1.79),
+    "l40s": GPUPrice("l40s", 0.99),
+    "rtx5090": GPUPrice("rtx5090", 0.69),
+    "rtxa6000": GPUPrice("rtxa6000", 0.49),
+}
+
+
+def available_gpu_prices() -> list[str]:
+    """Sorted names of the committed GPU price presets.
+
+    >>> available_gpu_prices()
+    ['a100', 'h100', 'l40s', 'rtx5090', 'rtxa6000']
+    """
+    return sorted(GPU_PRICES)
+
+
+def get_gpu_price(name_or_price) -> GPUPrice:
+    """Resolve a price preset by name (or pass a :class:`GPUPrice` through).
+
+    >>> get_gpu_price("rtx5090").usd_per_hour
+    0.69
+    >>> get_gpu_price(GPUPrice("custom", 1.0)).name
+    'custom'
+    """
+    if isinstance(name_or_price, GPUPrice):
+        return name_or_price
+    key = str(name_or_price).lower()
+    if key not in GPU_PRICES:
+        raise KeyError(
+            f"unknown GPU price {name_or_price!r} "
+            f"(available: {', '.join(available_gpu_prices())})"
+        )
+    return GPU_PRICES[key]

@@ -1,0 +1,326 @@
+"""Tests for repro.bench: matrix expansion, planning, resumable
+execution, pricing, and report rendering.
+
+The load-bearing properties:
+
+* matrix expansion is deterministic (stable cell ids), normalizes
+  interconnects away for unified fleets, and skips infeasible combos
+  with recorded reasons rather than erroring mid-sweep;
+* planning is idempotent and resume-safe (completed manifests survive
+  re-planning);
+* an interrupted sweep — whether by a crashing cell or a run cap —
+  resumes to a report byte-identical to an uninterrupted one, skipping
+  completed cells and retrying failed ones;
+* every $/Mtok derives from CostModel × the committed GPU price table.
+"""
+
+import importlib.util
+import json
+import math
+from pathlib import Path
+
+import pytest
+
+from repro.bench import (
+    FleetShape,
+    RunSpec,
+    SweepMatrix,
+    aggregate,
+    available_matrices,
+    available_workloads,
+    build_workload,
+    canonical_payload,
+    execute_run,
+    get_matrix,
+    list_sweeps,
+    load_plan,
+    markdown_table,
+    plan_sweep,
+    price_cell,
+    read_manifest,
+    render_report,
+    run_sweep,
+)
+from repro.bench.__main__ import main as bench_main
+from repro.tune.cost import CostModel
+from repro.tune.pricing import GPU_PRICES, GPUPrice, available_gpu_prices, get_gpu_price
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+SMALL = SweepMatrix(
+    name="small",
+    recipes=("bf16", "mxfp4+"),
+    schedulers=("prefill-first",),
+    interconnects=("pcie5",),
+    fleets=("1r", "1p1d"),
+    workloads=("bursty",),
+    n_requests=8,
+    seed=0,
+    baseline={"recipe": "bf16", "fleet": "1r"},
+)
+
+
+class TestFleetShape:
+    def test_unified(self):
+        shape = FleetShape.parse("4r")
+        assert not shape.disaggregated
+        assert shape.n_replicas == 4
+        assert shape.total_gpus == shape.n_generating == 4
+        assert shape.label == "4r"
+
+    def test_disaggregated(self):
+        shape = FleetShape.parse("2p3d")
+        assert shape.disaggregated
+        assert (shape.n_prefill, shape.n_decode) == (2, 3)
+        assert shape.total_gpus == 5
+        assert shape.n_generating == 3  # only decode GPUs emit tokens
+
+    @pytest.mark.parametrize("bad", ["", "0r", "1p0d", "r2", "1p1d1x", "2"])
+    def test_rejects_malformed(self, bad):
+        with pytest.raises(ValueError):
+            FleetShape.parse(bad)
+
+
+class TestMatrixExpansion:
+    def test_canonical_shape(self):
+        runs, skipped = get_matrix("canonical").expand()
+        assert len(runs) == 8
+        # Disaggregated x chunked-prefill is infeasible (the cost model
+        # rejects it) and is skipped with a recorded reason, not raised.
+        assert any("chunked" in s["reason"] for s in skipped)
+
+    def test_unified_fleet_normalizes_interconnect(self):
+        runs, _ = get_matrix("canonical").expand()
+        for spec in runs:
+            if not spec.disaggregated:
+                assert spec.interconnect == "none"
+
+    def test_expansion_is_deterministic(self):
+        a, _ = SMALL.expand()
+        b, _ = SMALL.expand()
+        assert [s.cell_id for s in a] == [s.cell_id for s in b]
+
+    def test_cell_id_tracks_content(self):
+        spec = SMALL.expand()[0][0]
+        bumped = RunSpec.from_dict({**spec.to_dict(), "seed": spec.seed + 1})
+        assert bumped.cell_id != spec.cell_id
+
+    def test_roundtrip(self):
+        matrix = SweepMatrix.from_dict(SMALL.to_dict())
+        assert matrix == SMALL
+        spec = SMALL.expand()[0][0]
+        assert RunSpec.from_dict(spec.to_dict()) == spec
+
+    def test_unknown_axis_values_rejected(self):
+        with pytest.raises(KeyError, match="unknown scheduler"):
+            SweepMatrix(name="bad", schedulers=("fifo",))
+        with pytest.raises(KeyError, match="unknown recipe"):
+            SweepMatrix(name="bad", recipes=("int3",))
+        with pytest.raises(KeyError, match="unknown interconnect"):
+            SweepMatrix(name="bad", interconnects=("carrier-pigeon",))
+        with pytest.raises(KeyError, match="unknown workload"):
+            SweepMatrix(name="bad", workloads=("adversarial",))
+
+    def test_baseline_must_match_exactly_one_cell(self):
+        runs, _ = SMALL.expand()
+        assert SMALL.baseline_cell_id(runs) in {s.cell_id for s in runs}
+        ambiguous = SweepMatrix.from_dict(
+            {**SMALL.to_dict(), "baseline": {"recipe": "bf16"}}
+        )
+        with pytest.raises(ValueError, match="baseline"):
+            ambiguous.baseline_cell_id(ambiguous.expand()[0])
+
+    def test_registries(self):
+        assert {"canonical", "smoke"} <= set(available_matrices())
+        assert "chat" in available_workloads()
+        reqs = build_workload("chat", 5, seed=0)
+        again = build_workload("chat", 5, seed=0)
+        assert [r.prompt_tokens for r in reqs] == [r.prompt_tokens for r in again]
+
+
+class TestPlanner:
+    def test_plan_layout(self, tmp_path):
+        plan = plan_sweep(SMALL, tmp_path, name="s")
+        assert (plan.root / "sweep.json").exists()
+        for cid in plan.cell_ids:
+            assert read_manifest(plan.root, cid)["status"] == "planned"
+        loaded = load_plan(plan.root)
+        assert loaded.cell_ids == plan.cell_ids
+        assert loaded.baseline == plan.baseline
+
+    def test_replanning_preserves_completed_manifests(self, tmp_path):
+        plan = plan_sweep(SMALL, tmp_path, name="s")
+        run_sweep(plan.root, max_runs=1)
+        done = [
+            cid for cid in plan.cell_ids
+            if read_manifest(plan.root, cid)["status"] == "completed"
+        ]
+        assert len(done) == 1
+        plan_sweep(SMALL, tmp_path, name="s")  # re-plan into the same dir
+        assert read_manifest(plan.root, done[0])["status"] == "completed"
+
+    def test_list_sweeps(self, tmp_path):
+        plan_sweep(SMALL, tmp_path, name="s")
+        (entry,) = list_sweeps(tmp_path)
+        assert entry["matrix"] == "small"
+        assert entry["statuses"] == {"planned": len(SMALL.expand()[0])}
+        assert list_sweeps(tmp_path / "nope") == []
+
+
+class TestRunnerResume:
+    def test_interrupt_and_resume_is_byte_identical(self, tmp_path):
+        # Uninterrupted reference sweep.
+        ref = plan_sweep(SMALL, tmp_path, name="ref")
+        run_sweep(ref.root)
+        # Interrupted sweep: the second cell crashes on the first pass.
+        plan = plan_sweep(SMALL, tmp_path, name="cut")
+        victim = plan.cell_ids[1]
+
+        def crashy(spec):
+            if spec.cell_id == victim:
+                raise RuntimeError("injected failure")
+            return execute_run(spec)
+
+        first = run_sweep(plan.root, executor=crashy)
+        assert first["failed"] == 1
+        # Failure isolation: the sweep continued past the crashed cell.
+        assert first["executed"] == len(plan.cell_ids) - 1
+        manifest = read_manifest(plan.root, victim)
+        assert manifest["status"] == "failed"
+        assert "injected failure" in manifest["error"]
+        assert "injected failure" in manifest["traceback"]
+
+        # Re-invocation: completed cells skip, the failed cell re-runs.
+        second = run_sweep(plan.root)
+        assert second["skipped"] == len(plan.cell_ids) - 1
+        assert second["executed"] == 1
+        assert read_manifest(plan.root, victim)["status"] == "completed"
+        assert "traceback" not in read_manifest(plan.root, victim)
+
+        # The resumed sweep's canonical payload and report match the
+        # uninterrupted sweep byte for byte.
+        a, b = aggregate(ref.root), aggregate(plan.root)
+        assert json.dumps(canonical_payload(a), sort_keys=True) == json.dumps(
+            canonical_payload(b), sort_keys=True
+        )
+        assert render_report(a) == render_report(b)
+
+    def test_max_runs_caps_execution(self, tmp_path):
+        plan = plan_sweep(SMALL, tmp_path, name="s")
+        summary = run_sweep(plan.root, max_runs=2)
+        assert summary["executed"] == 2
+        statuses = list(plan.statuses().values())
+        assert statuses.count("completed") == 2
+        assert statuses.count("planned") == len(plan.cell_ids) - 2
+        resumed = run_sweep(plan.root)
+        assert resumed["skipped"] == 2
+        assert resumed["executed"] == len(plan.cell_ids) - 2
+
+
+class TestPricing:
+    def test_price_table_is_validated(self):
+        with pytest.raises(ValueError):
+            GPUPrice(name="bad", usd_per_hour=-1.0)
+        with pytest.raises(ValueError):
+            GPUPrice(name="bad", usd_per_hour=math.inf)
+        assert set(available_gpu_prices()) == set(GPU_PRICES)
+        assert get_gpu_price("h100").usd_per_hour == GPU_PRICES["h100"].usd_per_hour
+        with pytest.raises(KeyError, match="unknown GPU price"):
+            get_gpu_price("tpu")
+
+    def test_dollars_per_mtok_math(self):
+        price = GPUPrice(name="x", usd_per_hour=3.6)
+        # 3.6 $/hr = 0.001 $/s; at 1000 tok/s -> 1e-6 $/tok -> 1 $/Mtok.
+        assert price.dollars_per_mtok(1000.0) == pytest.approx(1.0)
+        assert price.dollars_per_mtok(1000.0, n_gpus=2) == pytest.approx(2.0)
+        assert math.isinf(price.dollars_per_mtok(0.0))
+
+    def test_cost_model_slo_gate(self):
+        from repro.models.zoo import ARCHS
+
+        model = CostModel(ARCHS["llama-2-13b"], page_budget_bytes=float(1 << 30))
+        finite = model.dollars_per_mtok("mxfp4+")
+        assert math.isfinite(finite) and finite > 0
+        assert math.isinf(model.dollars_per_mtok("mxfp4+", tpot_slo_s=1e-9))
+
+    def test_price_cell_scales_to_fleet(self):
+        runs, _ = SMALL.expand()
+        unified = next(s for s in runs if not s.disaggregated and s.recipe == "bf16")
+        disagg = next(s for s in runs if s.disaggregated and s.recipe == "bf16")
+        u, d = price_cell(unified), price_cell(disagg)
+        assert u["gpu_price"] == d["gpu_price"] == "rtx5090"
+        # 1p1d bills 2 GPUs but only the decode GPU generates: the
+        # billing factor alone doubles the per-token price relative to
+        # the same model throughput on one unified replica.
+        assert d["fleet_gpus"] == 2
+        assert d["dollars_per_mtok"] > u["dollars_per_mtok"]
+
+
+class TestReport:
+    def test_markdown_table(self):
+        table = markdown_table(["a", "b"], [["1", "2"], ["3", "4"]])
+        assert table.splitlines()[1] == "| --- | --- |"
+        assert table.splitlines()[-1] == "| 3 | 4 |"
+
+    def test_format_results_delegates_to_shared_renderer(self):
+        spec = importlib.util.spec_from_file_location(
+            "format_results", REPO_ROOT / "benchmarks" / "format_results.py"
+        )
+        module = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(module)
+        from repro.bench.report import fmt_value, markdown_table as shared
+        assert module._table is shared
+        assert module._fmt is fmt_value
+
+    def test_report_sections(self, tmp_path):
+        plan = plan_sweep(SMALL, tmp_path, name="s")
+        run_sweep(plan.root)
+        payload = aggregate(plan.root)
+        report = render_report(payload)
+        assert "## Cells" in report
+        assert "## Winner & Pareto" in report
+        assert "(baseline)" in report
+        assert payload["winner"] is None or "**(winner)**" in report
+        # Every dollar figure in the payload traces to price_cell.
+        for cell in payload["cells"].values():
+            pricing = cell["result"]["pricing"]
+            assert pricing["usd_per_hour"] == GPU_PRICES[pricing["gpu_price"]].usd_per_hour
+
+    def test_failed_cells_render_without_result(self, tmp_path):
+        plan = plan_sweep(SMALL, tmp_path, name="s")
+
+        def always_fail(spec):
+            raise ValueError("boom")
+
+        run_sweep(plan.root, executor=always_fail)
+        report = render_report(aggregate(plan.root))
+        assert "## Failures" in report
+        assert "ValueError: boom" in report
+
+
+class TestCLI:
+    def test_plan_run_report_list(self, tmp_path, capsys):
+        out = str(tmp_path)
+        assert bench_main(["plan", "--matrix", "smoke", "--out", out, "--name", "s"]) == 0
+        assert bench_main(["run", str(tmp_path / "s")]) == 0
+        assert (tmp_path / "s" / "report.md").exists()
+        assert bench_main(["report", str(tmp_path / "s")]) == 0
+        assert bench_main(["list", "--out", out]) == 0
+        captured = capsys.readouterr().out
+        assert "Sweep report" in captured
+        assert "matrix=smoke" in captured
+
+    def test_run_resume_via_cli(self, tmp_path, capsys):
+        out = str(tmp_path)
+        bench_main(["run", "--matrix", "smoke", "--out", out, "--name", "s",
+                    "--max-runs", "2"])
+        assert bench_main(["run", str(tmp_path / "s")]) == 0
+        assert "2 skipped" in capsys.readouterr().out
+
+    def test_report_json_roundtrips(self, tmp_path, capsys):
+        bench_main(["run", "--matrix", "smoke", "--out", str(tmp_path),
+                    "--name", "s"])
+        capsys.readouterr()
+        assert bench_main(["report", str(tmp_path / "s"), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert set(payload) >= {"cells", "matrix", "winner", "perf"}

@@ -14,6 +14,9 @@ from pathlib import Path
 
 import pytest
 
+import repro.bench.matrix
+import repro.bench.pricing
+import repro.bench.report
 import repro.gpu.inference
 import repro.serve
 import repro.serve.cluster
@@ -24,6 +27,7 @@ import repro.serve.sched
 import repro.serve.workload
 import repro.tune.cost
 import repro.tune.frontier
+import repro.tune.pricing
 import repro.tune.search
 import repro.tune.sensitivity
 
@@ -40,7 +44,11 @@ DOCTEST_MODULES = [
     repro.tune.cost,
     repro.tune.search,
     repro.tune.sensitivity,
+    repro.tune.pricing,
     repro.gpu.inference,
+    repro.bench.matrix,
+    repro.bench.pricing,
+    repro.bench.report,
 ]
 
 #: Markdown pages whose ``>>>`` snippets must run (tutorial doctests).
