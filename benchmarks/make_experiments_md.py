@@ -72,6 +72,11 @@ BENCHMARK_INDEX: dict[str, tuple[str, str]] = {
         "infrastructure",
         "batched MX+ encode vs per-block reference (>=2x)",
     ),
+    "test_event_loop.py": (
+        "infrastructure",
+        "event-loop req/s at 10k/100k/1M: heap loop >=5x pre-PR baseline, "
+        "sharded bit-identical to single-process",
+    ),
 }
 
 

@@ -26,6 +26,7 @@ backed by :func:`step_time`.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from collections.abc import Mapping
 from dataclasses import dataclass
 from typing import Iterable, Sequence
@@ -45,6 +46,7 @@ __all__ = [
     "end_to_end_speedup",
     "step_time_cache_info",
     "clear_step_time_cache",
+    "set_step_time_cache_limit",
 ]
 
 
@@ -185,7 +187,9 @@ def spread_layer_overrides(
     return spread
 
 
-def _merge_groups(row_groups: Iterable[tuple]) -> list[tuple[int, int, str]]:
+def _merge_groups(
+    row_groups: Iterable[tuple],
+) -> tuple[list[tuple[int, int, str]], int]:
     """Merge row groups sharing ``(ctx, kind)`` (order-stable).
 
     Accepts ``(rows, ctx)`` pairs (legacy, kind ``""``) and
@@ -196,30 +200,127 @@ def _merge_groups(row_groups: Iterable[tuple]) -> list[tuple[int, int, str]]:
     varlen prefill kernel next to a decode kernel), so
     ``[(5, c, "prefill"), (1, c, "decode")]`` is *not* the same step as
     the pure batch ``[(6, c)]`` — and must not share its memo entry.
+
+    Returns ``(groups, total_rows)`` so the caller never re-walks the
+    merged list just to count rows.
     """
     merged: dict[tuple[int, str], int] = {}
+    m_get = merged.get
+    total = 0
     for group in row_groups:
-        rows, ctx = group[0], group[1]
-        kind = group[2] if len(group) > 2 else ""
+        rows = group[0]
         if rows <= 0:
             continue
-        key = (ctx, kind)
-        merged[key] = merged.get(key, 0) + rows
-    return [(rows, ctx, kind) for (ctx, kind), rows in merged.items()]
+        key = (group[1], group[2]) if len(group) > 2 else (group[1], "")
+        merged[key] = m_get(key, 0) + rows
+        total += rows
+    return [(rows, ctx, kind) for (ctx, kind), rows in merged.items()], total
 
 
 # Step-time memo: a multi-replica cluster replays the same (spec, arch,
 # cfg, groups) step shape once per replica per scheduler iteration, so
 # decode sweeps are dominated by identical recomputation. The key covers
 # every GPUSpec field (specs are frozen but carry an unhashable dict).
-_STEP_CACHE: dict[tuple, float] = {}
-_STEP_CACHE_MAX = 1 << 18
-_step_cache_hits = 0
-_step_cache_misses = 0
+#
+# At fleet scale (million-request traces) whole-step keys rarely repeat
+# for decode steps — every request sits at a different context length —
+# so two finer-grained memos back the step memo up:
+#
+# * ``_ATT_CACHE`` — the attention score/value gemm *pair* per
+#   ``(rows, ctx)`` group. Decode rows revisit the same ``(1, ctx)``
+#   shapes across steps, replicas, and layers, so hit rates approach
+#   100% after warmup.
+# * ``_ROWS_CACHE`` — the row-count-only work (the seven linear
+#   projections and the LM head), keyed by total step rows ``m``.
+#
+# Both sub-caches store the *exact* floats the uncached path would
+# produce and the step sum accumulates them in the same order, so cached
+# and uncached step times are bit-identical (committed artifacts
+# regenerate byte-for-byte). All memos are size-capped LRUs: fleet-scale
+# sweeps cannot grow them without bound, and eviction only ever costs a
+# recomputation, never a different value.
+
+
+class _LRUCache:
+    """Size-capped LRU memo with hit/miss counters.
+
+    ``get`` refreshes recency; when ``put`` overflows ``maxsize`` the
+    least-recently-used entry is evicted. Eviction is invisible to
+    callers except as a later miss — values are pure functions of their
+    keys.
+    """
+
+    def __init__(self, maxsize: int) -> None:
+        if maxsize < 1:
+            raise ValueError("maxsize must be >= 1")
+        self.maxsize = maxsize
+        self.data: "OrderedDict[tuple, object]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, key):
+        """The cached value for ``key`` (recency-refreshed), else None.
+
+        Recency refresh only engages once the cache is at capacity —
+        before that no eviction decision is pending and insertion order
+        stands in for recency, which keeps the hot-path ``get`` a single
+        dict probe (``move_to_end`` costs as much as the lookup itself).
+        """
+        value = self.data.get(key)
+        if value is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        if len(self.data) >= self.maxsize:
+            self.data.move_to_end(key)
+        return value
+
+    def put(self, key, value) -> None:
+        """Insert ``key``; evicts the LRU entry when over capacity."""
+        self.data[key] = value
+        if len(self.data) > self.maxsize:
+            self.data.popitem(last=False)
+
+    def clear(self) -> None:
+        self.data.clear()
+        self.hits = self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+
+_STEP_CACHE = _LRUCache(1 << 16)  # whole-step memo: (spec, arch, cfg, groups)
+_ATT_CACHE = _LRUCache(1 << 18)  # per-group attention gemm pairs
+_ROWS_CACHE = _LRUCache(1 << 14)  # projection-stack / LM-head times per m
+
+
+def set_step_time_cache_limit(
+    step: int | None = None, attention: int | None = None, rows: int | None = None
+) -> None:
+    """Re-bound the step-time memo caches (entries beyond the new cap are
+    evicted LRU-first on the next insert). ``None`` leaves a cap alone."""
+    for cache, size in ((_STEP_CACHE, step), (_ATT_CACHE, attention), (_ROWS_CACHE, rows)):
+        if size is None:
+            continue
+        if size < 1:
+            raise ValueError("cache limit must be >= 1")
+        cache.maxsize = size
+        while len(cache.data) > size:
+            cache.data.popitem(last=False)
+
+
+#: id-keyed memo for :func:`_spec_key` — cluster loops pass the same
+#: (module-constant) ``GPUSpec`` object millions of times, and rebuilding
+#: the sorted-throughput tuple per call shows up in profiles. Holding the
+#: spec object itself keeps its ``id`` from being recycled.
+_SPEC_KEYS: dict[int, tuple] = {}
 
 
 def _spec_key(spec: GPUSpec) -> tuple:
-    return (
+    cached = _SPEC_KEYS.get(id(spec))
+    if cached is not None and cached[0] is spec:
+        return cached[1]
+    key = (
         spec.name,
         spec.num_sms,
         spec.tensor_cores_per_sm,
@@ -230,22 +331,63 @@ def _spec_key(spec: GPUSpec) -> tuple:
         spec.native_mx,
         spec.sparse_speedup,
     )
+    if len(_SPEC_KEYS) > 4096:  # sweeps that build specs in a loop
+        _SPEC_KEYS.clear()
+    _SPEC_KEYS[id(spec)] = (spec, key)
+    return key
+
+
+# Interned cache-key prefixes: the invariant part of every memo key
+# (spec + arch + format flags) is a deep tuple whose hash Python
+# recomputes on every probe. Interning it to a small integer once makes
+# the per-group attention keys 3-int tuples — the difference between a
+# ~3 microsecond and a ~0.1 microsecond cache hit at fleet scale. Ids
+# are handed out by a monotonic counter and never reused, so entries in
+# the LRU caches can never collide with a later prefix.
+_KEY_IDS: dict[tuple, int] = {}
+
+
+def _intern(prefix: tuple) -> int:
+    interned = _KEY_IDS.get(prefix)
+    if interned is None:
+        interned = len(_KEY_IDS)
+        _KEY_IDS[prefix] = interned
+    return interned
 
 
 def step_time_cache_info() -> dict:
-    """Hit/miss/size counters for the step-time memo cache."""
+    """Hit/miss/size/capacity counters for the step-time memo caches.
+
+    ``hits``/``misses``/``size``/``maxsize`` describe the whole-step
+    memo; the ``attention`` and ``rows`` sub-dicts report the per-group
+    attention-pair and per-row-count projection memos that serve the
+    decode steps whose full group signature never repeats.
+    """
     return {
-        "hits": _step_cache_hits,
-        "misses": _step_cache_misses,
+        "hits": _STEP_CACHE.hits,
+        "misses": _STEP_CACHE.misses,
         "size": len(_STEP_CACHE),
+        "maxsize": _STEP_CACHE.maxsize,
+        "attention": {
+            "hits": _ATT_CACHE.hits,
+            "misses": _ATT_CACHE.misses,
+            "size": len(_ATT_CACHE),
+            "maxsize": _ATT_CACHE.maxsize,
+        },
+        "rows": {
+            "hits": _ROWS_CACHE.hits,
+            "misses": _ROWS_CACHE.misses,
+            "size": len(_ROWS_CACHE),
+            "maxsize": _ROWS_CACHE.maxsize,
+        },
     }
 
 
 def clear_step_time_cache() -> None:
     """Drop all memoized step times (counters reset too)."""
-    global _step_cache_hits, _step_cache_misses
     _STEP_CACHE.clear()
-    _step_cache_hits = _step_cache_misses = 0
+    _ATT_CACHE.clear()
+    _ROWS_CACHE.clear()
 
 
 def step_time(
@@ -274,19 +416,30 @@ def step_time(
     same step shape pay the roofline evaluation once. The kind tag is
     part of the key, so a mixed batch can never collide with the
     pure-decode (or legacy untagged) batch of the same merged shape.
+    Below the whole-step memo, the per-group attention gemm pair and the
+    row-count-only projection/LM-head stacks are memoized separately
+    (``_ATT_CACHE``/``_ROWS_CACHE``): a fleet-scale decode step whose
+    full group signature never repeats still prices as mostly cache
+    hits. All memos are size-capped LRU and bit-transparent — cached and
+    uncached paths accumulate the identical floats in identical order.
     """
     cfg = as_serving_config(cfg)
-    groups = _merge_groups(row_groups)
-    m = sum(rows for rows, _, _ in groups)
+    groups, m = _merge_groups(row_groups)
     if m == 0:
         return 0.0
-    global _step_cache_hits, _step_cache_misses
-    key = (_spec_key(spec), arch, cfg, tuple(sorted(groups)))
-    cached = _STEP_CACHE.get(key)
-    if cached is not None:
-        _step_cache_hits += 1
-        return cached
-    _step_cache_misses += 1
+    spec_key = _spec_key(spec)
+    # The whole-step memo only pays off when the full group signature can
+    # repeat — uniform batches and small mixed steps. A fleet-scale decode
+    # step carries tens of distinct contexts that almost never recur as a
+    # set; sorting and hashing that signature per step costs more than the
+    # sub-memos below recompute, so wide steps bypass the step memo (its
+    # counters only see the calls it could ever serve).
+    key = None
+    if len(groups) <= 8:
+        key = (_intern((spec_key, arch, cfg)), tuple(sorted(groups)))
+        cached = _STEP_CACHE.get(key)
+        if cached is not None:
+            return cached
 
     kv_fmt = cfg.kv_fmt or cfg.act_fmt
     head_fmt = cfg.lm_head_fmt or cfg.weight_fmt
@@ -315,15 +468,48 @@ def step_time(
                 min_tile_m=cfg.min_tile_m,
             )
 
-        layer = sum(_time(shape, weight_fmt) for shape in proj_shapes)
+        fmt_key = (act_fmt, software, hardware, cfg.min_tile_m)
+        proj_key = (_intern((spec_key, arch, "proj", weight_fmt) + fmt_key), m)
+        layer = _ROWS_CACHE.get(proj_key)
+        if layer is None:
+            layer = sum(_time(shape, weight_fmt) for shape in proj_shapes)
+            _ROWS_CACHE.put(proj_key, layer)
         # attention: scores (rows x ctx x head_dim) and values; the K/V
         # operands stream from the KV cache in this layer's KV format
         # (kv="auto" follows the layer's own activation format, so an
         # overridden layer's attention is priced at its override — the
         # same semantics QuantRecipe.to_context gives the numeric path).
+        # Each group's score/value pair is memoized on (rows, ctx): the
+        # pair is independent of the other groups in the step, and decode
+        # rows revisit the same shapes across steps/replicas/layers.
+        att_base = _intern((spec_key, arch.dim, layer_kv_fmt) + fmt_key)
+        # Inlined _LRUCache.get/put: this probe runs once per group per
+        # layer (the hottest loop in a decode sweep) and the method-call
+        # overhead alone is measurable. Semantics are identical —
+        # counters, capacity-gated recency refresh, and eviction all
+        # match the methods.
+        att_cache = _ATT_CACHE
+        att_data = att_cache.data
+        att_cap = att_cache.maxsize
+        att_hits = 0
+        dim = arch.dim
         for rows, ctx, _kind in groups:
-            layer += _time(GemmShape(rows, ctx, arch.dim), layer_kv_fmt)
-            layer += _time(GemmShape(rows, arch.dim, ctx), layer_kv_fmt)
+            att_key = (att_base, rows, ctx)
+            pair = att_data.get(att_key)
+            if pair is None:
+                att_cache.misses += 1
+                pair = (
+                    _time(GemmShape(rows, ctx, dim), layer_kv_fmt),
+                    _time(GemmShape(rows, dim, ctx), layer_kv_fmt),
+                )
+                att_cache.put(att_key, pair)
+            else:
+                att_hits += 1
+                if len(att_data) >= att_cap:
+                    att_data.move_to_end(att_key)
+            layer += pair[0]
+            layer += pair[1]
+        att_cache.hits += att_hits
         return layer
 
     if cfg.layer_overrides:
@@ -359,18 +545,28 @@ def step_time(
                     cfg.mxplus_hardware and "+" in fmt,
                 )
             total += memo[fmt] - base_layer
-    total += gemm_time(  # LM head, once per forward
-        spec,
-        GemmShape(m, arch.vocab, arch.dim),
-        a_fmt=cfg.act_fmt,
-        b_fmt=head_fmt,
-        mxplus_software=head_software,
-        mxplus_hardware=head_hardware,
-        min_tile_m=cfg.min_tile_m,
+    head_key = (
+        _intern((
+            spec_key, arch, "head", head_fmt,
+            cfg.act_fmt, head_software, head_hardware, cfg.min_tile_m,
+        )),
+        m,
     )
-    if len(_STEP_CACHE) >= _STEP_CACHE_MAX:
-        _STEP_CACHE.clear()
-    _STEP_CACHE[key] = total
+    head = _ROWS_CACHE.get(head_key)
+    if head is None:
+        head = gemm_time(  # LM head, once per forward
+            spec,
+            GemmShape(m, arch.vocab, arch.dim),
+            a_fmt=cfg.act_fmt,
+            b_fmt=head_fmt,
+            mxplus_software=head_software,
+            mxplus_hardware=head_hardware,
+            min_tile_m=cfg.min_tile_m,
+        )
+        _ROWS_CACHE.put(head_key, head)
+    total += head
+    if key is not None:
+        _STEP_CACHE.put(key, total)
     return total
 
 

@@ -61,11 +61,13 @@ from .workload import (
     LengthDist,
     bursty_arrivals,
     chat_workload,
+    iter_workload,
     load_trace,
     long_prompt_workload,
     make_workload,
     poisson_arrivals,
     save_trace,
+    stream_trace,
 )
 from .cluster import (
     AutoscalePolicy,
@@ -82,6 +84,7 @@ from .cluster import (
     available_routers,
     get_router,
 )
+from .shard import SHARDABLE_ROUTERS, plan_shards, run_sharded
 
 __all__ = [
     "QuantRecipe",
@@ -114,10 +117,12 @@ __all__ = [
     "poisson_arrivals",
     "bursty_arrivals",
     "make_workload",
+    "iter_workload",
     "chat_workload",
     "long_prompt_workload",
     "save_trace",
     "load_trace",
+    "stream_trace",
     "Router",
     "RoundRobinRouter",
     "LeastKVLoadRouter",
@@ -131,4 +136,7 @@ __all__ = [
     "AutoscalePolicy",
     "FleetResult",
     "ServingCluster",
+    "SHARDABLE_ROUTERS",
+    "plan_shards",
+    "run_sharded",
 ]

@@ -402,10 +402,47 @@ class FleetResult:
         """Fleet makespan: the slowest replica's virtual finish time."""
         return max((r.makespan_s for r in self.replica_results), default=0.0)
 
+    # -- cached metric views (mirrors ServingResult) -------------------
+    # Summary helpers must not rebuild million-entry Python lists (or
+    # re-sort them) per property access. Arrays are memoized on first
+    # use; `responses` is treated as frozen once any metric is read.
+    # Means use the unsorted array (same accumulation order, same
+    # float); percentiles use the sorted view (order statistics are
+    # permutation-invariant). `sorts_performed` lets tests pin the
+    # no-re-sort contract.
+
+    def _values(self, metric: str) -> np.ndarray:
+        cache = self.__dict__.setdefault("_metric_values", {})
+        arr = cache.get(metric)
+        if arr is None:
+            arr = np.asarray(
+                [getattr(r, metric) for r in self.responses], dtype=float
+            )
+            cache[metric] = arr
+        return arr
+
+    def _sorted_values(self, metric: str) -> np.ndarray:
+        cache = self.__dict__.setdefault("_metric_sorted", {})
+        arr = cache.get(metric)
+        if arr is None:
+            arr = np.sort(self._values(metric))
+            cache[metric] = arr
+            self.__dict__["_sorts"] = self.__dict__.get("_sorts", 0) + 1
+        return arr
+
+    @property
+    def sorts_performed(self) -> int:
+        """How many metric sorts this result has ever run (cache probe)."""
+        return self.__dict__.get("_sorts", 0)
+
     @property
     def total_tokens(self) -> int:
         """Output tokens generated across the whole fleet."""
-        return sum(r.output_len for r in self.responses)
+        total = self.__dict__.get("_total_tokens")
+        if total is None:
+            total = sum(r.output_len for r in self.responses)
+            self.__dict__["_total_tokens"] = total
+        return total
 
     @property
     def throughput_tok_s(self) -> float:
@@ -427,14 +464,14 @@ class FleetResult:
         """Mean time-to-first-token over all responses (seconds)."""
         if not self.responses:
             return 0.0
-        return float(np.mean([r.ttft_s for r in self.responses]))
+        return float(np.mean(self._values("ttft_s")))
 
     @property
     def mean_tpot_s(self) -> float:
         """Mean time-per-output-token over all responses (seconds)."""
         if not self.responses:
             return 0.0
-        return float(np.mean([r.tpot_s for r in self.responses]))
+        return float(np.mean(self._values("tpot_s")))
 
     @property
     def preemptions(self) -> int:
@@ -473,7 +510,7 @@ class FleetResult:
         """The ``q``-th percentile TTFT — the tail latency SLOs watch."""
         if not self.responses:
             return 0.0
-        return float(np.percentile([r.ttft_s for r in self.responses], q))
+        return float(np.percentile(self._sorted_values("ttft_s"), q))
 
     @staticmethod
     def _meets_slo(
@@ -542,6 +579,123 @@ class FleetResult:
                 }
             )
         return out
+
+
+class _EventState:
+    """Per-run next-event heap + router-snapshot delta cache.
+
+    The global event loop needs, at every iteration, the replica with
+    the earliest next event — and, at every arrival, a fresh
+    :class:`ReplicaSnapshot` list for the router. Scanning every replica
+    per event is O(replicas) twice over; at fleet scale both reads are
+    served from incrementally-maintained state instead:
+
+    * **next-event heap** — entries ``(time, index, version)``, one live
+      entry per replica with work. A replica's schedule only changes
+      when the loop mutates it (``submit``/``step``/``import_kv``), at
+      which point :meth:`touch` bumps its version and pushes a fresh
+      entry; stale entries are skipped lazily at :meth:`peek`. Heap
+      order ``(t, idx)`` reproduces the linear scan's tie-break exactly
+      (earliest time, then lowest replica index).
+    * **snapshot cache** — routers read the cached
+      :class:`ReplicaSnapshot` per replica; only replicas dirtied since
+      the last read (stepped, submitted to, imported into, or mutated by
+      a KV export) are rebuilt. Between consecutive arrivals usually one
+      replica stepped, so a fleet-of-N routing decision costs O(1)
+      snapshot rebuilds instead of O(N).
+    """
+
+    def __init__(self, replicas: list[ServingEngine]) -> None:
+        self.replicas = replicas
+        self.versions = [0] * len(replicas)
+        self.heap: list[tuple] = []
+        self.snaps: dict[int, ReplicaSnapshot] = {}
+        self.dirty: set[int] = set(range(len(replicas)))
+        for idx in range(len(replicas)):
+            self.push(idx)
+
+    def track_new(self) -> None:
+        """Start tracking a replica just appended to ``replicas``."""
+        idx = len(self.versions)
+        self.versions.append(0)
+        self.dirty.add(idx)
+        self.push(idx)
+
+    def push(self, idx: int) -> None:
+        """(Re-)publish ``idx``'s next event time into the heap."""
+        t = self.replicas[idx].peek_next_event()
+        if t is not None:
+            heapq.heappush(self.heap, (t, idx, self.versions[idx]))
+
+    def touch(self, idx: int) -> None:
+        """Record a mutation of replica ``idx``: its published next-event
+        entry is invalidated and re-pushed, its snapshot marked stale."""
+        self.versions[idx] += 1
+        self.dirty.add(idx)
+        self.push(idx)
+
+    def peek(self) -> tuple:
+        """``(time, index)`` of the earliest live event, or ``(None, None)``
+        when every replica is drained. Prunes stale entries as it goes."""
+        heap = self.heap
+        versions = self.versions
+        while heap:
+            t, idx, ver = heap[0]
+            if versions[idx] == ver:
+                return t, idx
+            heapq.heappop(heap)
+        return None, None
+
+    def pop_head(self) -> None:
+        """Consume the (already-peeked) valid head entry."""
+        heapq.heappop(self.heap)
+
+    def snapshots(self, live: list[int]) -> list[ReplicaSnapshot]:
+        """Router-facing snapshots for ``live``, rebuilt only where dirty."""
+        snaps = self.snaps
+        dirty = self.dirty
+        replicas = self.replicas
+        out = []
+        for j in live:
+            s = snaps.get(j)
+            if s is None or j in dirty:
+                engine = replicas[j]
+                s = snaps[j] = ReplicaSnapshot(
+                    index=j,
+                    clock=engine.clock,
+                    n_running=engine.n_running,
+                    n_waiting=engine.n_waiting,
+                    free_kv_tokens=engine.free_kv_tokens,
+                    capacity_kv_tokens=engine.kv_cache.capacity_tokens,
+                )
+                dirty.discard(j)
+            out.append(s)
+        return out
+
+
+def _validated_stream(requests):
+    """Validate a streamed (non-list) request iterable lazily.
+
+    Streamed traces must already be in arrival order — the loop consumes
+    them one event at a time and cannot sort what it has not seen.
+    Duplicate ids raise exactly as :func:`validate_batch` would.
+    """
+    seen: set[str] = set()
+    last = 0.0
+    for request in requests:
+        if request.request_id in seen:
+            raise ValueError(
+                f"duplicate request_id {request.request_id!r} in batch"
+            )
+        seen.add(request.request_id)
+        if request.arrival_s < last:
+            raise ValueError(
+                "streamed requests must be sorted by arrival_s "
+                f"(got {request.arrival_s} after {last}); materialize to a "
+                "list to let the cluster sort them"
+            )
+        last = request.arrival_s
+        yield request
 
 
 class ServingCluster:
@@ -690,17 +844,6 @@ class ServingCluster:
         """KV tokens one replica can hold (page count x page size)."""
         return self.engines[0].kv_cache.capacity_tokens
 
-    @staticmethod
-    def _snapshot(engine: ServingEngine, index: int) -> ReplicaSnapshot:
-        return ReplicaSnapshot(
-            index=index,
-            clock=engine.clock,
-            n_running=engine.n_running,
-            n_waiting=engine.n_waiting,
-            free_kv_tokens=engine.free_kv_tokens,
-            capacity_kv_tokens=engine.kv_cache.capacity_tokens,
-        )
-
     def _apply_autoscale(
         self,
         replicas: list[ServingEngine],
@@ -708,6 +851,7 @@ class ServingCluster:
         router: Router,
         t_arr: float,
         events: list,
+        state: _EventState,
         role: str = "unified",
         roles: list | None = None,
         protect: frozenset = frozenset(),
@@ -719,7 +863,7 @@ class ServingCluster:
         replicas get); ``protect`` shields replicas that look idle but
         have a KV migration in flight toward them from retirement.
         """
-        snaps = [self._snapshot(replicas[j], j) for j in live]
+        snaps = state.snapshots(live)
         target = self.autoscale.target(snaps)
         while len(live) < target:
             replicas.append(self._make_engine(role))
@@ -727,6 +871,7 @@ class ServingCluster:
                 roles.append(role)
             live.append(len(replicas) - 1)
             router.resize(len(replicas))
+            state.track_new()
             events.append((t_arr, "scale-up", len(replicas) - 1))
         if len(live) > target:
             # Retire drained replicas only (highest index first): requests
@@ -745,6 +890,7 @@ class ServingCluster:
         live: list[int],
         request: Request,
         assignments: dict[str, int],
+        state: _EventState,
     ) -> None:
         """Route one arrival against live snapshots and submit it.
 
@@ -752,7 +898,7 @@ class ServingCluster:
         routable replicas, ask the router, reject out-of-pool answers
         loudly, record the assignment, enqueue on the chosen engine.
         """
-        snaps = [self._snapshot(replicas[j], j) for j in live]
+        snaps = state.snapshots(live)
         replica = router.route(request, snaps)
         if replica not in live:
             raise ValueError(
@@ -761,18 +907,19 @@ class ServingCluster:
             )
         assignments[request.request_id] = replica
         replicas[replica].submit(request)
+        state.touch(replica)
 
     @staticmethod
     def _fleet_responses(
-        requests: list[Request], results: list[ServingResult]
+        input_ids: list[str], results: list[ServingResult]
     ) -> list[Response]:
         """Responses in original input order, joined across replicas."""
         by_id = {
             resp.request_id: resp for res in results for resp in res.responses
         }
-        return [by_id[r.request_id] for r in requests]
+        return [by_id[rid] for rid in input_ids]
 
-    def run(self, requests: list[Request]) -> FleetResult:
+    def run(self, requests) -> FleetResult:
         """Serve ``requests`` through the global virtual-time event loop.
 
         The loop repeatedly takes the earliest event: the next request
@@ -780,8 +927,18 @@ class ServingCluster:
         to the lowest replica index) or the earliest replica step. A
         replica whose step begins before an arrival executes first — the
         scheduling decision at that instant cannot see the future — so
-        the whole fleet shares one coherent timeline. Responses come
-        back in input order.
+        the whole fleet shares one coherent timeline. Event selection is
+        served from a next-event heap and routing snapshots from a delta
+        cache (see :class:`_EventState`), so each event costs O(log
+        replicas) instead of a linear fleet scan.
+
+        ``requests`` may be a list (sorted and validated up front, and
+        responses come back in input order) or any other iterable — a
+        generator such as :func:`~repro.serve.workload.iter_workload` or
+        :func:`~repro.serve.workload.stream_trace` is consumed lazily,
+        one arrival at a time, so million-request traces never
+        materialize; streamed input must already be in arrival order and
+        responses come back in stream order.
 
         A disaggregated cluster (``n_prefill``/``n_decode`` set) adds a
         third event type — KV-transfer completions — and is dispatched
@@ -796,55 +953,65 @@ class ServingCluster:
                 f"cluster has {self.n_replicas}"
             )
         router.reset()  # instances passed in must behave like fresh ones
-        pending = arrival_order(requests)  # validates duplicate ids too
+        materialized = isinstance(requests, (list, tuple))
+        if materialized:
+            input_ids = [r.request_id for r in requests]
+            pending = iter(arrival_order(requests))  # validates dup ids too
+        else:
+            input_ids = []  # filled in stream order as arrivals are drawn
+            pending = _validated_stream(requests)
         replicas = list(self.engines)  # autoscaling appends; base fleet stays
         live = list(range(len(replicas)))
         for engine in replicas:
             engine.begin_run()
         assignments: dict[str, int] = {}
         autoscale_events: list = []
-        i = 0
+        state = _EventState(replicas)
+        nxt = next(pending, None)
         try:
-            while i < len(pending) or any(e.has_work() for e in replicas):
-                t_arr = pending[i].arrival_s if i < len(pending) else None
-                candidates = [
-                    (t, idx)
-                    for idx, engine in enumerate(replicas)
-                    if (t := engine.peek_next_event()) is not None
-                ]
-                t_eng = min(candidates)[0] if candidates else None
-                if t_arr is not None and (t_eng is None or t_arr <= t_eng):
+            while True:
+                t_eng, idx = state.peek()
+                if nxt is not None and (t_eng is None or nxt.arrival_s <= t_eng):
                     # Arrival event: consult the autoscaler, then route
                     # against the live fleet at this instant.
-                    request = pending[i]
-                    i += 1
+                    request = nxt
+                    nxt = next(pending, None)
+                    if not materialized:
+                        input_ids.append(request.request_id)
                     if self.autoscale is not None:
                         self._apply_autoscale(
-                            replicas, live, router, t_arr, autoscale_events
+                            replicas,
+                            live,
+                            router,
+                            request.arrival_s,
+                            autoscale_events,
+                            state,
                         )
                     self._route_and_submit(
-                        router, replicas, live, request, assignments
+                        router, replicas, live, request, assignments, state
                     )
-                else:
+                elif t_eng is not None:
                     # Step event: advance the replica with the earliest
                     # next event (ties to the lowest index).
-                    _, idx = min(candidates)
+                    state.pop_head()
                     replicas[idx].step()
+                    state.touch(idx)
+                else:
+                    break  # no arrivals left, every replica drained
         finally:
             for engine in replicas:
                 engine.abort()
             router.resize(self.n_replicas)  # reusable instance: undo growth
         # Each replica reports its shard in original input order, exactly
         # as a standalone engine would (reconciliation at n_replicas=1).
-        shards = [
-            [r for r in requests if assignments[r.request_id] == j]
-            for j in range(len(replicas))
-        ]
+        shard_ids: list[list[str]] = [[] for _ in range(len(replicas))]
+        for rid in input_ids:
+            shard_ids[assignments[rid]].append(rid)
         results = [
-            engine.collect(shard) for engine, shard in zip(replicas, shards)
+            engine.collect_ids(ids) for engine, ids in zip(replicas, shard_ids)
         ]
         return FleetResult(
-            responses=self._fleet_responses(requests, results),
+            responses=self._fleet_responses(input_ids, results),
             replica_results=results,
             assignments=assignments,
             router=router.name,
@@ -882,7 +1049,13 @@ class ServingCluster:
         decode_router = get_router(self._decode_router_spec, self.n_decode)
         prefill_router.reset()
         decode_router.reset()
-        pending = arrival_order(requests)  # validates duplicate ids too
+        materialized = isinstance(requests, (list, tuple))
+        if materialized:
+            input_ids = [r.request_id for r in requests]
+            pending = iter(arrival_order(requests))  # validates dup ids too
+        else:
+            input_ids = []
+            pending = _validated_stream(requests)
         replicas = list(self.engines)
         roles = list(self.roles)
         live_p = [j for j, role in enumerate(roles) if role == "prefill"]
@@ -897,38 +1070,39 @@ class ServingCluster:
         self._transfer_seq = 0
         self._link_busy_until = 0.0
         token_bytes = kv_token_bytes(self.arch, self.recipe)
-        i = 0
+        state = _EventState(replicas)
+        nxt = next(pending, None)
         try:
-            while i < len(pending) or transfers or any(
-                e.has_work() for e in replicas
-            ):
-                t_arr = pending[i].arrival_s if i < len(pending) else None
+            while True:
+                t_eng, idx = state.peek()
                 t_tr = transfers[0][0] if transfers else None
-                candidates = [
-                    (t, idx)
-                    for idx, engine in enumerate(replicas)
-                    if (t := engine.peek_next_event()) is not None
-                ]
-                t_eng = min(candidates)[0] if candidates else None
                 if (
-                    t_arr is not None
-                    and (t_eng is None or t_arr <= t_eng)
-                    and (t_tr is None or t_arr <= t_tr)
+                    nxt is not None
+                    and (t_eng is None or nxt.arrival_s <= t_eng)
+                    and (t_tr is None or nxt.arrival_s <= t_tr)
                 ):
-                    request = pending[i]
-                    i += 1
+                    request = nxt
+                    nxt = next(pending, None)
+                    if not materialized:
+                        input_ids.append(request.request_id)
                     if self.autoscale is not None:
                         self._apply_autoscale(
                             replicas,
                             live_p,
                             prefill_router,
-                            t_arr,
+                            request.arrival_s,
                             autoscale_events,
+                            state,
                             role="prefill",
                             roles=roles,
                         )
                     self._route_and_submit(
-                        prefill_router, replicas, live_p, request, assignments
+                        prefill_router,
+                        replicas,
+                        live_p,
+                        request,
+                        assignments,
+                        state,
                     )
                 elif t_tr is not None and (t_eng is None or t_tr <= t_eng):
                     # Transfer completion: the migrated KV reaches its
@@ -939,9 +1113,11 @@ class ServingCluster:
                     replicas[dest].import_kv(
                         handoff, t_arrive, transferred_tokens=n_tokens
                     )
-                else:
-                    _, idx = min(candidates)
+                    state.touch(dest)
+                elif t_eng is not None:
+                    state.pop_head()
                     event = replicas[idx].step()
+                    state.touch(idx)
                     if event is not None and event.handoff_ready:
                         for rid in event.handoff_ready:
                             self._start_transfer(
@@ -956,7 +1132,10 @@ class ServingCluster:
                                 transfer_records,
                                 decode_assignments,
                                 autoscale_events,
+                                state,
                             )
+                else:
+                    break  # arrivals and transfers drained, replicas idle
         finally:
             for engine in replicas:
                 engine.abort()
@@ -966,13 +1145,13 @@ class ServingCluster:
         # or its prefill replica when max_new_tokens == 1 (nothing left
         # to generate after the first token — no transfer at all).
         results = [
-            engine.collect(
-                [r for r in requests if r.request_id in engine.finished]
+            engine.collect_ids(
+                [rid for rid in input_ids if rid in engine.finished]
             )
             for engine in replicas
         ]
         return FleetResult(
-            responses=self._fleet_responses(requests, results),
+            responses=self._fleet_responses(input_ids, results),
             replica_results=results,
             assignments=assignments,
             router=prefill_router.name,
@@ -997,6 +1176,7 @@ class ServingCluster:
         records: list[dict],
         decode_assignments: dict[str, int],
         autoscale_events: list,
+        state: _EventState,
     ) -> None:
         """Export ``rid`` from ``src`` and schedule its arrival event.
 
@@ -1008,6 +1188,7 @@ class ServingCluster:
         replica does not cross the wire again.
         """
         handoff = replicas[src].export_kv(rid)
+        state.touch(src)  # export released pages: src snapshot is stale
         if self.autoscale is not None:
             inflight = frozenset(dest for _, _, dest, _, _ in transfers)
             self._apply_autoscale(
@@ -1016,11 +1197,12 @@ class ServingCluster:
                 decode_router,
                 handoff.export_s,
                 autoscale_events,
+                state,
                 role="decode",
                 roles=roles,
                 protect=inflight,
             )
-        snaps = [self._snapshot(replicas[j], j) for j in live_d]
+        snaps = state.snapshots(live_d)
         dest = decode_router.route(handoff.request, snaps)
         if dest not in live_d:
             raise ValueError(
@@ -1057,4 +1239,30 @@ class ServingCluster:
                 "start_s": start,
                 "arrive_s": t_arrive,
             }
+        )
+
+    def run_sharded(
+        self,
+        requests: list[Request],
+        n_workers: int | None = None,
+        allow_approximate: bool = False,
+    ) -> FleetResult:
+        """Serve ``requests`` with the fleet partitioned across processes.
+
+        Convenience wrapper over :func:`repro.serve.shard.run_sharded`:
+        routes every request at plan time, runs each replica's shard in
+        its own worker process, and merges deterministically. For
+        shardable routers (``round-robin``, ``least-kv-load``,
+        ``prefix-affinity``) the merged :class:`FleetResult` is
+        bit-identical to :meth:`run`; load-feedback routers require
+        ``allow_approximate=True``. See :mod:`repro.serve.shard` for the
+        full determinism contract.
+        """
+        from .shard import run_sharded
+
+        return run_sharded(
+            self,
+            requests,
+            n_workers=n_workers,
+            allow_approximate=allow_approximate,
         )

@@ -222,10 +222,49 @@ class ServingResult:
     peak_running: int = 0  # max concurrently decoding requests
     kv: dict = field(default_factory=dict)  # PagedKVCache.stats() snapshot
 
+    # -- cached metric views -------------------------------------------
+    # At 1M responses the summary helpers must not rebuild a Python list
+    # (or re-sort it) on every property access. Value arrays and their
+    # sorted views are built once per metric and memoized on the
+    # instance; `responses` is treated as frozen once any metric has
+    # been read. Means use the unsorted array (accumulation order — and
+    # therefore the float result — is unchanged); percentiles use the
+    # sorted view, which is value-identical because order statistics
+    # don't depend on input permutation. `sorts_performed` counts actual
+    # np.sort calls so tests can pin the no-re-sort contract.
+
+    def _values(self, metric: str) -> np.ndarray:
+        cache = self.__dict__.setdefault("_metric_values", {})
+        arr = cache.get(metric)
+        if arr is None:
+            arr = np.asarray(
+                [getattr(r, metric) for r in self.responses], dtype=float
+            )
+            cache[metric] = arr
+        return arr
+
+    def _sorted_values(self, metric: str) -> np.ndarray:
+        cache = self.__dict__.setdefault("_metric_sorted", {})
+        arr = cache.get(metric)
+        if arr is None:
+            arr = np.sort(self._values(metric))
+            cache[metric] = arr
+            self.__dict__["_sorts"] = self.__dict__.get("_sorts", 0) + 1
+        return arr
+
+    @property
+    def sorts_performed(self) -> int:
+        """How many metric sorts this result has ever run (cache probe)."""
+        return self.__dict__.get("_sorts", 0)
+
     @property
     def total_tokens(self) -> int:
         """Output tokens generated across all responses."""
-        return sum(r.output_len for r in self.responses)
+        total = self.__dict__.get("_total_tokens")
+        if total is None:
+            total = sum(r.output_len for r in self.responses)
+            self.__dict__["_total_tokens"] = total
+        return total
 
     @property
     def throughput_tok_s(self) -> float:
@@ -237,20 +276,20 @@ class ServingResult:
         """Mean time-to-first-token over the batch (seconds)."""
         if not self.responses:
             return 0.0
-        return float(np.mean([r.ttft_s for r in self.responses]))
+        return float(np.mean(self._values("ttft_s")))
 
     @property
     def mean_tpot_s(self) -> float:
         """Mean time-per-output-token over the batch (seconds)."""
         if not self.responses:
             return 0.0
-        return float(np.mean([r.tpot_s for r in self.responses]))
+        return float(np.mean(self._values("tpot_s")))
 
     def p99_ttft_s(self, q: float = 99.0) -> float:
         """The ``q``-th percentile TTFT — the tail latency SLOs watch."""
         if not self.responses:
             return 0.0
-        return float(np.percentile([r.ttft_s for r in self.responses], q))
+        return float(np.percentile(self._sorted_values("ttft_s"), q))
 
     def summary(self) -> dict[str, float]:
         """Headline serving metrics as one JSON-friendly dict."""
@@ -268,9 +307,17 @@ class ServingResult:
         }
 
 
-@dataclass
+@dataclass(eq=False, slots=True)
 class _Active:
-    """Scheduler-internal state for one admitted (or requeued) request."""
+    """Scheduler-internal state for one admitted (or requeued) request.
+
+    Identity equality (``eq=False``): two live states are never
+    field-equal anyway (``seq`` is unique per submission), and membership
+    tests / ``list.remove`` on the running set are hot at fleet scale —
+    field-wise dataclass comparison there is pure overhead. ``slots``
+    buys the same thing on attribute access: this object is touched
+    several times per scheduler step per running request.
+    """
 
     request: Request
     order: int  # admission sequence number (eviction picks the max)
@@ -714,13 +761,19 @@ class ServingEngine:
                 f"{len(self._waiting)} waiting requests"
             )
 
+        tag = plan.tag_kinds
         groups: list = []
         for state, rows in plan.prefill:
             ctx = min(state.admit_ctx, state.cached + state.prefilled + rows)
-            groups.append((rows, ctx, "prefill") if plan.tag_kinds else (rows, ctx))
-        for state in plan.decode:
-            groups.append(
-                (1, state.ctx, "decode") if plan.tag_kinds else (1, state.ctx)
+            groups.append((rows, ctx, "prefill") if tag else (rows, ctx))
+        if tag:
+            groups.extend(
+                (1, s.request.prompt_len + s.generated, "decode")
+                for s in plan.decode
+            )
+        else:
+            groups.extend(
+                (1, s.request.prompt_len + s.generated) for s in plan.decode
             )
         t = step_time(self.spec, self.arch, self.cfg, groups)
         self.clock += t
@@ -748,17 +801,23 @@ class ServingEngine:
         for state, rows in plan.prefill:
             state.prefilled += rows
         finished_ids: list[str] = []
+        append_token = self.kv_cache.append_token
+        clock = self.clock
+        numeric = self.model is not None
+        done: list = []
         for state in plan.decode:
-            if self.model is not None and state.request.prompt_tokens is not None:
+            if numeric and state.request.prompt_tokens is not None:
                 state.tokens.append(self._next_token(state))
-            self.kv_cache.append_token(state.request.request_id)
+            append_token(state.request.request_id)
             state.generated += 1
             if state.first_token_s < 0:
-                state.first_token_s = self.clock
-        for state in [s for s in plan.decode if s.done]:
+                state.first_token_s = clock
+            if state.generated >= state.request.max_new_tokens:
+                done.append(state)
+        for state in done:
             self._running.remove(state)
             self.kv_cache.free(state.request.request_id)
-            self.finished[state.request.request_id] = self._response(state, self.clock)
+            self.finished[state.request.request_id] = self._response(state, clock)
             finished_ids.append(state.request.request_id)
         handoff_ids: list[str] = []
         if self.role == "prefill":
@@ -820,9 +879,18 @@ class ServingEngine:
         request must have finished. Used by :meth:`run` and by the
         cluster event loop after draining a replica.
         """
-        if not requests:
+        return self.collect_ids([r.request_id for r in requests])
+
+    def collect_ids(self, request_ids: list[str]) -> ServingResult:
+        """:meth:`collect` by request id — no ``Request`` objects needed.
+
+        The sharded cluster runner uses this: shard plans carry only the
+        id partition, and rebuilding ``Request`` objects just to look up
+        their ids again would double a million-request merge's work.
+        """
+        if not request_ids:
             return ServingResult([], StageTimes(0.0, 0.0), 0.0)
-        responses = [self.finished[r.request_id] for r in requests]
+        responses = [self.finished[rid] for rid in request_ids]
         return ServingResult(
             responses=responses,
             stages=StageTimes(prefill_s=self._prefill_s, decode_s=self._decode_s),
@@ -897,6 +965,13 @@ class ServingEngine:
         recomputation (re-admission is a prefix *hit* when the prefix
         pages survived).
         """
+        # Fast path: one free page per decode row is the worst case
+        # `append_blocks_needed` can report, so when that many pages are
+        # already free the loop below would break on its first iteration
+        # with no side effects — skip it (this is the common case; the
+        # slow path only runs when the cache is genuinely near-full).
+        if self.kv_cache.free_blocks >= len(plan.decode):
+            return 0
         evicted = 0
         while len(self._running) > 1 and plan.decode:
             needed = self.kv_cache.append_blocks_needed(

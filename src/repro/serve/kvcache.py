@@ -103,23 +103,26 @@ def kv_token_bytes(arch: ArchSpec, recipe_or_fmt) -> float:
     return per_layer_bytes * arch.n_layers * format_kv_bits(str(fmt))
 
 
-@dataclass
+@dataclass(slots=True)
 class _Seq:
     """Private allocation state for one resident sequence."""
 
     tokens: int  # total context tokens (shared prefix included)
     prefix_key: tuple | None  # (prefix_id, shared_tokens) or None
+    shared: int = 0  # prefix_key[1] denormalized for the append hot path
+
+    def __post_init__(self) -> None:
+        self.shared = self.prefix_key[1] if self.prefix_key else 0
 
     @property
     def private_tokens(self) -> int:
-        shared = self.prefix_key[1] if self.prefix_key else 0
-        return self.tokens - shared
+        return self.tokens - self.shared
 
     def private_blocks(self, block_tokens: int) -> int:
         return -(-self.private_tokens // block_tokens)
 
 
-@dataclass
+@dataclass(slots=True)
 class _Prefix:
     """One cached shared prefix: ``blocks`` pages holding ``tokens`` tokens."""
 
@@ -423,16 +426,18 @@ class PagedKVCache:
     def append_token(self, seq_id: str) -> None:
         """Grow a sequence by one generated token (page-aligned)."""
         seq = self._seqs[seq_id]
-        if seq.private_tokens % self.block_tokens == 0:
-            if not self.ensure_free(1):
+        if (seq.tokens - seq.shared) % self.block_tokens == 0:
+            # Fast path: a page is already free (the overwhelmingly common
+            # case — the engine preempts before stepping a full cache), so
+            # skip the eviction scan `ensure_free` would no-op through.
+            if self._used_blocks >= self.num_blocks and not self.ensure_free(1):
                 raise RuntimeError(
                     f"KV cache overflow growing {seq_id!r}: preempt before "
                     "appending (see ServingEngine._preempt_overflow)"
                 )
-            self._used_blocks += 1
-            self._stats.peak_used_blocks = max(
-                self._stats.peak_used_blocks, self.used_blocks
-            )
+            used = self._used_blocks = self._used_blocks + 1
+            if used > self._stats.peak_used_blocks:
+                self._stats.peak_used_blocks = used
         seq.tokens += 1
 
     def free(self, seq_id: str) -> None:

@@ -1,0 +1,167 @@
+"""Sharded virtual-time simulation: the fleet event loop across processes.
+
+:class:`~repro.serve.ServingCluster`'s global event loop is exact but
+serial — one Python process walks every replica's steps in virtual-time
+order. For *snapshot-blind* routers that serialization is unnecessary:
+the routing decision for every request can be computed up front (it
+depends only on the request sequence, never on live replica state), and
+once each request knows its replica, every replica's trajectory is
+independent of the others — a :class:`~repro.serve.ServingEngine` is
+self-contained, so replaying one replica's shard through ``engine.run``
+reproduces exactly the step sequence the global loop would have driven
+on that replica.
+
+That turns the fleet simulation into an embarrassingly parallel map:
+
+.. code-block:: text
+
+      requests ──▶ plan_shards (route @ plan time, arrival order)
+                       │
+         ┌─────────────┼─────────────┐
+         ▼             ▼             ▼
+      worker 0      worker 1      worker 2      (multiprocessing)
+      engine.run    engine.run    engine.run    (own virtual clock)
+         │             │             │
+         └─────────────┼─────────────┘
+                       ▼
+              deterministic merge ──▶ FleetResult
+              (responses in input order, replicas by index)
+
+**Determinism contract.** For routers in :data:`SHARDABLE_ROUTERS`
+(``round-robin``, ``least-kv-load``, ``prefix-affinity``) the merged
+:class:`~repro.serve.FleetResult` is **bit-identical** to
+``cluster.run(requests)``: these routers never read the
+:class:`~repro.serve.ReplicaSnapshot` contents, so plan-time routing
+equals event-loop routing, and each engine's virtual-time trajectory
+depends only on its own shard. The load-feedback routers
+(``queue-depth``, ``free-kv-at-arrival``) *do* read live state that only
+exists mid-simulation; sharding them (``allow_approximate=True``) uses
+their documented snapshot-free fallback heuristics — deterministic and
+reproducible, but not the same assignment the global loop would make.
+
+Autoscaling and disaggregated prefill/decode clusters couple replicas
+through global state (fleet size, the shared transfer link) and are
+rejected — use ``cluster.run``.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+
+from .cluster import FleetResult, ServingCluster, get_router
+from .engine import Request, ServingResult, arrival_order
+
+__all__ = [
+    "SHARDABLE_ROUTERS",
+    "plan_shards",
+    "run_sharded",
+]
+
+# Routers whose route() never reads ReplicaSnapshot contents: plan-time
+# routing (replicas=None) is identical to event-loop routing, so their
+# sharded results are bit-identical to the global loop's.
+SHARDABLE_ROUTERS = frozenset({"round-robin", "least-kv-load", "prefix-affinity"})
+
+
+def plan_shards(
+    cluster: ServingCluster, requests: list[Request]
+) -> tuple[list[list[Request]], dict[str, int]]:
+    """Partition ``requests`` by router decision at plan time.
+
+    Routes every request in arrival order — exactly the order the global
+    event loop routes them — against ``replicas=None``, so for
+    snapshot-blind routers the assignment map equals the one
+    ``cluster.run`` would produce. Returns ``(shards, assignments)``
+    where ``shards[j]`` lists replica ``j``'s requests in *input* order
+    (the order :meth:`ServingEngine.collect
+    <repro.serve.ServingEngine.collect>` reports them in).
+    """
+    router = get_router(cluster._router_spec, cluster.n_replicas)
+    router.reset()
+    assignments: dict[str, int] = {}
+    for request in arrival_order(requests):
+        assignments[request.request_id] = router.route(request, None)
+    shards: list[list[Request]] = [[] for _ in range(cluster.n_replicas)]
+    for request in requests:
+        shards[assignments[request.request_id]].append(request)
+    return shards, assignments
+
+
+def _run_shard(payload: tuple) -> ServingResult:
+    """Worker: replay one replica's shard on a fresh engine.
+
+    Top-level (picklable) so it works under any multiprocessing start
+    method. ``engine.run`` performs the same submit-in-arrival-order /
+    drain / collect-in-input-order sequence the global loop drives per
+    replica, so the returned :class:`~repro.serve.ServingResult` is the
+    one ``cluster.run`` would report for this replica.
+    """
+    cluster, shard = payload
+    engine = cluster._make_engine()
+    return engine.run(shard)
+
+
+def run_sharded(
+    cluster: ServingCluster,
+    requests: list[Request],
+    n_workers: int | None = None,
+    allow_approximate: bool = False,
+) -> FleetResult:
+    """Run ``cluster``'s fleet simulation sharded across processes.
+
+    Routes at plan time (:func:`plan_shards`), replays each replica's
+    shard in its own worker process, and merges into a
+    :class:`~repro.serve.FleetResult` — bit-identical to
+    ``cluster.run(requests)`` for routers in :data:`SHARDABLE_ROUTERS`
+    (see the module docstring for the contract and why it holds).
+
+    ``n_workers`` defaults to ``min(n_replicas, cpu_count)``;
+    ``n_workers <= 1`` runs the shards in-process (same merge path, no
+    pickling) which is also the fallback for numeric-mode clusters.
+    Load-feedback routers require ``allow_approximate=True`` and use
+    their snapshot-free fallbacks. Autoscaling and disaggregated
+    clusters are rejected — their replicas are coupled through global
+    state that sharding cannot preserve.
+    """
+    if cluster.disaggregated:
+        raise ValueError(
+            "disaggregated clusters share one transfer link across pools; "
+            "shards cannot preserve its serialization — use cluster.run()"
+        )
+    if cluster.autoscale is not None:
+        raise ValueError(
+            "autoscaling reacts to fleet-wide state; sharded replicas "
+            "cannot observe each other — use cluster.run()"
+        )
+    router_name = get_router(cluster._router_spec, cluster.n_replicas).name
+    if router_name not in SHARDABLE_ROUTERS and not allow_approximate:
+        raise ValueError(
+            f"router {router_name!r} reads live replica state; sharded "
+            "routing uses its snapshot-free fallback and diverges from "
+            "cluster.run() — pass allow_approximate=True to accept that"
+        )
+    requests = list(requests)
+    shards, assignments = plan_shards(cluster, requests)
+    payloads = [(cluster, shard) for shard in shards]
+    if n_workers is None:
+        n_workers = min(cluster.n_replicas, os.cpu_count() or 1)
+    if n_workers <= 1 or cluster._model is not None:
+        # In-process fallback: identical merge path, no pickling. Numeric
+        # mode stays here — model weights are not worth shipping to
+        # workers for a simulation this size.
+        results = [_run_shard(p) for p in payloads]
+    else:
+        with multiprocessing.Pool(processes=n_workers) as pool:
+            results = pool.map(_run_shard, payloads)
+    by_id = {
+        resp.request_id: resp for res in results for resp in res.responses
+    }
+    return FleetResult(
+        responses=[by_id[r.request_id] for r in requests],
+        replica_results=results,
+        assignments=assignments,
+        router=router_name,
+        scheduler=cluster.engines[0].scheduler.name,
+        autoscale_events=[],
+    )

@@ -32,6 +32,7 @@ True
 from __future__ import annotations
 
 import json
+from collections.abc import Iterable, Iterator
 from dataclasses import dataclass
 from pathlib import Path
 
@@ -44,10 +45,12 @@ __all__ = [
     "poisson_arrivals",
     "bursty_arrivals",
     "make_workload",
+    "iter_workload",
     "chat_workload",
     "long_prompt_workload",
     "save_trace",
     "load_trace",
+    "stream_trace",
 ]
 
 
@@ -185,6 +188,63 @@ def make_workload(
     ]
 
 
+def iter_workload(
+    n: int,
+    seed: int = 0,
+    arrival: str = "poisson",
+    rate_rps: float = 10.0,
+    prompt: LengthDist | None = None,
+    output: LengthDist | None = None,
+    burst_size: int = 8,
+    id_prefix: str = "w",
+    chunk_size: int = 65536,
+) -> "Iterator[Request]":
+    """Lazily generate ``n`` requests — :func:`make_workload` for traces
+    too large to materialize.
+
+    Requests are drawn in chunks of ``chunk_size`` from one seeded RNG,
+    so peak memory is O(chunk) however large ``n`` is: a million-request
+    trace streams straight into :meth:`ServingCluster.run
+    <repro.serve.ServingCluster.run>` without ever existing as a list.
+    The stream is deterministic — the same ``(n, seed, ...)`` spec always
+    yields the identical sequence, in non-decreasing arrival order — and
+    with ``chunk_size >= n`` it reproduces :func:`make_workload`
+    *bit-identically* (one chunk performs exactly the same three RNG
+    passes). Smaller chunks interleave the arrival/length draws per
+    chunk, which is its own (equally deterministic) spec, not a prefix
+    of the materialized one.
+    """
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    if chunk_size < 1:
+        raise ValueError("chunk_size must be >= 1")
+    prompt = prompt or LengthDist.lognormal(median=256, sigma=0.7, low=16, high=4096)
+    output = output or LengthDist.uniform(16, 128)
+    if arrival not in ("poisson", "bursty"):
+        raise ValueError(f"unknown arrival process {arrival!r}")
+    rng = np.random.default_rng(seed)
+    width = max(4, len(str(n - 1)))
+    start = 0.0
+    for lo in range(0, n, chunk_size):
+        m = min(chunk_size, n - lo)
+        if arrival == "poisson":
+            times = poisson_arrivals(m, rate_rps, rng, start_s=start)
+        else:
+            times = bursty_arrivals(
+                m, rate_rps, rng, burst_size=burst_size, start_s=start
+            )
+        start = float(times[-1])  # next chunk arrives strictly after
+        prompts = prompt.sample(rng, m)
+        outputs = output.sample(rng, m)
+        for i in range(m):
+            yield Request(
+                request_id=f"{id_prefix}{lo + i:0{width}d}",
+                prompt_len=int(prompts[i]),
+                max_new_tokens=int(outputs[i]),
+                arrival_s=float(times[i]),
+            )
+
+
 def chat_workload(
     n: int,
     n_prefixes: int = 4,
@@ -267,19 +327,49 @@ _TRACE_FIELDS = ("request_id", "prompt_len", "max_new_tokens", "arrival_s",
                  "prefix_id", "prefix_len")
 
 
-def save_trace(path, requests: list[Request]) -> None:
+def save_trace(path, requests: Iterable[Request]) -> None:
     """Write requests as one JSON object per line (replayable trace).
 
-    Numeric-mode token payloads (``prompt_tokens``) are included as plain
-    lists when present, so numeric traces replay exactly too.
+    ``requests`` may be any iterable — a generator such as
+    :func:`iter_workload` streams straight to disk one line at a time,
+    so saving a million-request trace never materializes it. The bytes
+    written are identical either way. Numeric-mode token payloads
+    (``prompt_tokens``) are included as plain lists when present, so
+    numeric traces replay exactly too.
     """
-    lines = []
-    for r in requests:
-        row = {k: getattr(r, k) for k in _TRACE_FIELDS}
-        if r.prompt_tokens is not None:
-            row["prompt_tokens"] = np.asarray(r.prompt_tokens).tolist()
-        lines.append(json.dumps(row))
-    Path(path).write_text("\n".join(lines) + ("\n" if lines else ""))
+    with Path(path).open("w") as f:
+        for r in requests:
+            row = {k: getattr(r, k) for k in _TRACE_FIELDS}
+            if r.prompt_tokens is not None:
+                row["prompt_tokens"] = np.asarray(r.prompt_tokens).tolist()
+            f.write(json.dumps(row))
+            f.write("\n")
+
+
+def stream_trace(path) -> Iterator[Request]:
+    """Lazily read a JSONL trace, one :class:`Request` per line.
+
+    The generator holds one line in memory at a time, so a
+    million-request trace feeds :meth:`ServingCluster.run
+    <repro.serve.ServingCluster.run>` without ever being a list.
+    :func:`load_trace` is exactly ``list(stream_trace(path))``.
+    """
+    with Path(path).open() as f:
+        for lineno, line in enumerate(f, 1):
+            line = line.strip()
+            if not line:
+                continue
+            row = json.loads(line)
+            unknown = set(row) - set(_TRACE_FIELDS) - {"prompt_tokens"}
+            if unknown:
+                raise ValueError(
+                    f"{path}:{lineno}: unknown trace fields {sorted(unknown)}"
+                )
+            tokens = row.pop("prompt_tokens", None)
+            if tokens is not None:
+                row["prompt_tokens"] = np.asarray(tokens, dtype=int)
+                row.pop("prompt_len", None)  # derived from the payload
+            yield Request(**row)
 
 
 def load_trace(path) -> list[Request]:
@@ -289,18 +379,4 @@ def load_trace(path) -> list[Request]:
 
         save_trace(p, reqs); assert load_trace(p) == reqs
     """
-    requests = []
-    for lineno, line in enumerate(Path(path).read_text().splitlines(), 1):
-        line = line.strip()
-        if not line:
-            continue
-        row = json.loads(line)
-        unknown = set(row) - set(_TRACE_FIELDS) - {"prompt_tokens"}
-        if unknown:
-            raise ValueError(f"{path}:{lineno}: unknown trace fields {sorted(unknown)}")
-        tokens = row.pop("prompt_tokens", None)
-        if tokens is not None:
-            row["prompt_tokens"] = np.asarray(tokens, dtype=int)
-            row.pop("prompt_len", None)  # derived from the payload
-        requests.append(Request(**row))
-    return requests
+    return list(stream_trace(path))

@@ -163,6 +163,27 @@ class TestFleetMetrics:
         assert affinity.mean_ttft_s < scattered.mean_ttft_s
 
 
+class TestMetricViewCaching:
+    def test_percentiles_never_resort_on_repeat_access(self):
+        reqs = _requests(16)
+        fleet = ServingCluster(ARCH, "mxfp4", n_replicas=2,
+                               kv_token_budget=16_384).run(reqs)
+        assert fleet.sorts_performed == 0
+        first = fleet.p99_ttft_s()
+        assert fleet.sorts_performed == 1
+        for _ in range(5):
+            assert fleet.p99_ttft_s() == first
+            assert fleet.p99_ttft_s(q=50.0) <= first  # same cached view
+            fleet.summary(ttft_slo_s=1.0, tpot_slo_s=0.1)
+        assert fleet.sorts_performed == 1
+        # per-replica results cache their own sorted views the same way
+        rep = fleet.replica_results[0]
+        before = rep.sorts_performed
+        rep.p99_ttft_s()
+        rep.p99_ttft_s()
+        assert rep.sorts_performed == before + 1
+
+
 class TestStepTimeCache:
     def test_replicas_share_step_times(self):
         clear_step_time_cache()
@@ -185,4 +206,10 @@ class TestStepTimeCache:
         assert first == again
         assert step_time_cache_info()["hits"] == 1
         clear_step_time_cache()
-        assert step_time_cache_info() == {"hits": 0, "misses": 0, "size": 0}
+        info = step_time_cache_info()
+        assert (info["hits"], info["misses"], info["size"]) == (0, 0, 0)
+        # the sub-memos (attention pairs, row-count stacks) reset too
+        for sub in ("attention", "rows"):
+            assert (info[sub]["hits"], info[sub]["misses"], info[sub]["size"]) == (
+                0, 0, 0,
+            )

@@ -198,3 +198,97 @@ class TestConversion:
         t_pp = converted_matmul_time(GemmShape(8, 4096, 4096), "mxfp4++")
         t_base = converted_matmul_time(GemmShape(8, 4096, 4096), "mxfp4")
         assert t_base < t_plus < t_pp
+
+
+class TestStepTimeCacheBounds:
+    """The step-time memos are size-capped LRUs: eviction must only ever
+    cost a recomputation, never change a value, and the counters must
+    report faithfully."""
+
+    def setup_method(self):
+        from repro.gpu.inference import clear_step_time_cache
+
+        clear_step_time_cache()
+
+    def teardown_method(self):
+        from repro.gpu.inference import (
+            clear_step_time_cache,
+            set_step_time_cache_limit,
+        )
+
+        set_step_time_cache_limit(step=1 << 16, attention=1 << 18, rows=1 << 14)
+        clear_step_time_cache()
+
+    def _sweep(self, cfg, n=24):
+        from repro.gpu.inference import step_time
+
+        arch = ARCHS["llama-2-7b"]
+        return [
+            step_time(RTX5090, arch, cfg, [(1, 128 + 16 * i), (1, 96 + 8 * i)])
+            for i in range(n)
+        ]
+
+    def test_eviction_never_changes_values(self):
+        from repro.serve import get_recipe
+        from repro.gpu.inference import (
+            clear_step_time_cache,
+            set_step_time_cache_limit,
+            step_time_cache_info,
+        )
+
+        cfg = get_recipe("mxfp4+")
+        unbounded = self._sweep(cfg)
+        clear_step_time_cache()
+        # Tiny caps: every probe evicts something, values must not move.
+        set_step_time_cache_limit(step=2, attention=3, rows=2)
+        bounded = self._sweep(cfg)
+        assert bounded == unbounded
+        info = step_time_cache_info()
+        assert info["size"] <= 2
+        assert info["attention"]["size"] <= 3
+        assert info["rows"]["size"] <= 2
+
+    def test_cache_info_reports_hits_misses_size(self):
+        from repro.serve import get_recipe
+        from repro.gpu.inference import step_time, step_time_cache_info
+
+        cfg = get_recipe("mxfp4")
+        arch = ARCHS["llama-2-7b"]
+        step_time(RTX5090, arch, cfg, [(4, 256)])
+        step_time(RTX5090, arch, cfg, [(4, 256)])
+        info = step_time_cache_info()
+        assert (info["hits"], info["misses"], info["size"]) == (1, 1, 1)
+        for sub in ("attention", "rows"):
+            assert set(info[sub]) >= {"hits", "misses", "size", "maxsize"}
+            assert info[sub]["size"] <= info[sub]["maxsize"]
+        # hit rate is derivable and sane
+        assert 0.0 <= info["hits"] / (info["hits"] + info["misses"]) <= 1.0
+
+    def test_clear_resets_under_new_bound(self):
+        from repro.serve import get_recipe
+        from repro.gpu.inference import (
+            clear_step_time_cache,
+            set_step_time_cache_limit,
+            step_time_cache_info,
+        )
+
+        cfg = get_recipe("mxfp4+")
+        set_step_time_cache_limit(step=4, attention=8, rows=4)
+        self._sweep(cfg, n=8)
+        clear_step_time_cache()
+        info = step_time_cache_info()
+        assert (info["hits"], info["misses"], info["size"]) == (0, 0, 0)
+        for sub in ("attention", "rows"):
+            assert (info[sub]["hits"], info[sub]["misses"], info[sub]["size"]) == (
+                0, 0, 0,
+            )
+        # the re-bound caps survive the clear and still enforce
+        again = self._sweep(cfg, n=8)
+        assert again == self._sweep(cfg, n=8)
+        assert step_time_cache_info()["size"] <= 4
+
+    def test_limit_validation(self):
+        from repro.gpu.inference import set_step_time_cache_limit
+
+        with pytest.raises(ValueError, match=">= 1"):
+            set_step_time_cache_limit(step=0)

@@ -340,7 +340,9 @@ class TestMixedBatchStepTime:
         merged = step_time(RTX5090, ARCH, cfg, [(6, 100)])
         split = step_time(RTX5090, ARCH, cfg, [(5, 100), (1, 100)])
         assert split == merged
-        assert step_time_cache_info() == {"hits": 1, "misses": 1, "size": 1}
+        info = step_time_cache_info()
+        # whole-step memo: equal merged signatures share one entry
+        assert (info["hits"], info["misses"], info["size"]) == (1, 1, 1)
 
     def test_cache_matches_cold_path(self):
         cfg = get_recipe(self.CFG)

@@ -9,10 +9,12 @@ from repro.serve import (
     Request,
     bursty_arrivals,
     chat_workload,
+    iter_workload,
     load_trace,
     make_workload,
     poisson_arrivals,
     save_trace,
+    stream_trace,
 )
 
 
@@ -137,3 +139,86 @@ class TestTraceRoundTrip:
         save_trace(path, reqs)
         path.write_text(path.read_text() + "\n\n")
         assert load_trace(path) == reqs
+
+
+class TestStreaming:
+    """The streaming surface: iter_workload / stream_trace / save_trace
+    over generators — million-request traces without materializing."""
+
+    def test_iter_workload_single_chunk_matches_make_workload(self):
+        kw = dict(seed=9, arrival="poisson", rate_rps=40.0)
+        assert list(iter_workload(64, chunk_size=64, **kw)) == make_workload(64, **kw)
+
+    def test_iter_workload_is_lazy_and_deterministic(self):
+        it = iter_workload(1_000_000, seed=1, chunk_size=64)
+        head = [next(it) for _ in range(200)]  # never materializes the rest
+        again = iter_workload(1_000_000, seed=1, chunk_size=64)
+        assert head == [next(again) for _ in range(200)]
+        assert all(
+            a.arrival_s <= b.arrival_s for a, b in zip(head, head[1:])
+        )
+        assert head[0].request_id == "w000000"  # id width from n, not chunk
+
+    def test_iter_workload_chunks_stay_sorted_across_boundaries(self):
+        reqs = list(iter_workload(100, seed=3, arrival="bursty", chunk_size=16))
+        assert all(a.arrival_s <= b.arrival_s for a, b in zip(reqs, reqs[1:]))
+        assert len({r.request_id for r in reqs}) == 100
+
+    def test_iter_workload_validation(self):
+        with pytest.raises(ValueError, match="chunk_size"):
+            list(iter_workload(4, chunk_size=0))
+        with pytest.raises(ValueError, match="unknown arrival"):
+            list(iter_workload(4, arrival="steady"))
+
+    def test_save_trace_accepts_generator_same_bytes(self, tmp_path):
+        reqs = make_workload(32, seed=5)
+        a, b = tmp_path / "list.jsonl", tmp_path / "gen.jsonl"
+        save_trace(a, reqs)
+        save_trace(b, iter(reqs))
+        assert a.read_bytes() == b.read_bytes()
+
+    def test_stream_trace_round_trips_lazily(self, tmp_path):
+        reqs = make_workload(16, seed=2)
+        p = tmp_path / "t.jsonl"
+        save_trace(p, iter(reqs))
+        it = stream_trace(p)
+        assert next(it) == reqs[0]  # generator: one line at a time
+        assert list(it) == reqs[1:]
+        assert load_trace(p) == reqs
+
+    def test_streamed_and_materialized_runs_agree(self, tmp_path):
+        from repro.models.zoo import ARCHS
+        from repro.serve import ServingCluster
+
+        reqs = make_workload(48, seed=7, rate_rps=60.0)
+        p = tmp_path / "t.jsonl"
+        save_trace(p, iter(reqs))
+        def cluster():
+            return ServingCluster(
+                ARCHS["llama-2-7b"], "mxfp4+", n_replicas=2,
+                kv_token_budget=32_768,
+            )
+        a = cluster().run(load_trace(p))
+        b = cluster().run(stream_trace(p))
+        assert a.summary(ttft_slo_s=2.0, tpot_slo_s=0.1) == b.summary(
+            ttft_slo_s=2.0, tpot_slo_s=0.1
+        )
+        assert [r.request_id for r in a.responses] == [
+            r.request_id for r in b.responses
+        ]
+
+    def test_unsorted_stream_rejected_with_hint(self):
+        from repro.models.zoo import ARCHS
+        from repro.serve import ServingCluster
+
+        reqs = [
+            Request("a", prompt_len=8, max_new_tokens=2, arrival_s=1.0),
+            Request("b", prompt_len=8, max_new_tokens=2, arrival_s=0.5),
+        ]
+        cluster = ServingCluster(
+            ARCHS["llama-2-7b"], "mxfp4", n_replicas=1, kv_token_budget=16_384
+        )
+        with pytest.raises(ValueError, match="materialize"):
+            cluster.run(iter(reqs))
+        with pytest.raises(ValueError, match="duplicate"):
+            cluster.run(iter([reqs[0], reqs[0]]))
