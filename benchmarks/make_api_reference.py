@@ -46,6 +46,11 @@ MODULES = [
     "repro.bench.runner",
     "repro.bench.pricing",
     "repro.bench.report",
+    "repro.obs",
+    "repro.obs.trace",
+    "repro.obs.metrics",
+    "repro.obs.export",
+    "repro.obs.record",
 ]
 
 

@@ -77,6 +77,11 @@ BENCHMARK_INDEX: dict[str, tuple[str, str]] = {
         "event-loop req/s at 10k/100k/1M: heap loop >=5x pre-PR baseline, "
         "sharded bit-identical to single-process",
     ),
+    "test_obs_overhead.py": (
+        "infrastructure",
+        "tracing overhead: untraced loop within 5% of the event-loop "
+        "baseline, traced run bit-identical",
+    ),
 }
 
 
@@ -721,6 +726,34 @@ def main() -> None:
             ],
             "Asserted >=2x; the reference implementation doubles as the "
             "property-test oracle for the batched encoder.",
+        )
+
+    ob = load("BENCH_obs_overhead")
+    if ob:
+        off, on = ob["tracing_off"], ob["tracing_on"]
+        section(
+            L,
+            "Infrastructure — tracing overhead",
+            "observability must be free when off and must not perturb when "
+            "on: every emit site in the serving stack is a single "
+            "nullable-tracer check.",
+            [
+                f"- tracing off: {f(off['rps'], 0)} req/s at 100k requests, "
+                f"{f(off['overhead_pct_vs_baseline'], 2)}% below the "
+                f"committed event-loop baseline "
+                f"({f(ob['baseline_single_rps_100k'], 0)} req/s; gate <= "
+                f"{f(ob['max_off_overhead_pct'], 0)}%)",
+                f"- tracing on (capped flight recorder + throttled "
+                f"metrics): {f(on['rps'], 0)} req/s "
+                f"({f(on['slowdown_x_vs_off'], 2)}x vs off); "
+                f"{on['events_appended']} events appended, newest "
+                f"{on['events_kept']} kept by the ring",
+                f"- traced FleetResult bit-identical to untraced: "
+                f"{ob['fingerprint_identical']}",
+            ],
+            "Both gates assert before the artifact saves: the off-path "
+            "stays within 5% of the committed rate and tracing never "
+            "perturbs the simulation.",
         )
 
     for name, title in [

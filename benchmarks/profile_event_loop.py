@@ -56,10 +56,15 @@ def main(argv: list[str]) -> int:
     buf = io.StringIO()
     stats = pstats.Stats(profiler, stream=buf)
     stats.sort_stats("cumulative").print_stats(40)
+    probes = fleet.summary(include_probes=True)["probes"]
+    cache = probes["step_time_cache"]
     header = (
         f"event loop profile: n={n} requests, {elapsed:.2f}s wall "
         f"(profiled), {len(fleet.responses)} responses, "
-        f"{fleet.total_tokens} tokens\n\n"
+        f"{fleet.total_tokens} tokens\n"
+        f"probes: sorts_performed={probes['sorts_performed']}, "
+        f"step_time_cache hits={cache['hits']} misses={cache['misses']} "
+        f"size={cache['size']}/{cache['maxsize']}\n\n"
     )
     out.parent.mkdir(exist_ok=True)
     out.write_text(header + buf.getvalue())

@@ -9,13 +9,19 @@ Shows the layers added on top of `ServingEngine`:
     router, with fleet metrics including goodput under a latency SLO;
  4. pluggable schedulers (prefill-first / chunked-prefill /
     decode-priority) and queue-depth autoscaling;
- 5. with --disaggregate: prefill/decode replica pools with KV migration
+ 5. observability — a virtual-time `Tracer` + `MetricsRegistry` on the
+    fleet, shard-merge reconciliation, and Perfetto export
+    (`--trace PATH` keeps the Chrome trace JSON, `--metrics PATH` the
+    gauge series CSV);
+ 6. with --disaggregate: prefill/decode replica pools with KV migration
     priced over an interconnect (see docs/SERVING_GUIDE.md).
 
 Run:  python examples/cluster_serving.py [--scheduler chunked-prefill]
+                                         [--trace trace.json]
+                                         [--metrics metrics.csv]
                                          [--disaggregate]
-(the CI scheduler matrix runs it once per policy; the disagg smoke job
-runs it with --disaggregate)
+(the CI scheduler matrix runs it once per policy; the obs job keeps the
+trace artifact; the disagg smoke job runs it with --disaggregate)
 """
 
 import argparse
@@ -48,6 +54,14 @@ parser.add_argument(
 parser.add_argument(
     "--disaggregate", action="store_true",
     help="also run the prefill/decode-disaggregated section",
+)
+parser.add_argument(
+    "--trace", default=None, metavar="PATH",
+    help="write the observability section's Perfetto trace JSON here",
+)
+parser.add_argument(
+    "--metrics", default=None, metavar="PATH",
+    help="write the observability section's gauge series CSV here",
 )
 ARGS = parser.parse_args()
 SCHED = ARGS.scheduler
@@ -162,7 +176,58 @@ over prefill-first; decode-priority shows the opposite trade. Autoscaling
 turns the same queue pressure into replicas instead.""")
 
 # ----------------------------------------------------------------------
-# 6. Disaggregated prefill/decode pools with KV migration (--disaggregate).
+# 6. Observability: virtual-time traces, fleet metrics, Perfetto export.
+# ----------------------------------------------------------------------
+from repro.gpu.inference import clear_step_time_cache
+from repro.obs import (
+    MetricsRegistry,
+    Tracer,
+    timeline_report,
+    validate_chrome_trace,
+    write_chrome_trace,
+    write_metrics_csv,
+)
+from repro.serve import run_sharded
+
+obs_reqs = make_workload(200, seed=0, arrival="poisson", rate_rps=100.0)
+
+
+def _obs_cluster(tracer, metrics=None):
+    return ServingCluster(arch, "mxfp4+", n_replicas=2, router="round-robin",
+                          page_budget_bytes=BUDGET, block_tokens=16,
+                          scheduler=SCHED, tracer=tracer, metrics=metrics)
+
+
+# Cold step-time-cache counters make the exported hit-rate series (and
+# hence the trace file) byte-identical across invocations.
+clear_step_time_cache()
+traced = _obs_cluster(Tracer(), MetricsRegistry(interval_s=0.5))
+traced.run(obs_reqs)
+events = traced.tracer.events()
+
+# The shard contract extends to traces: per-worker tracers merge into
+# the exact event stream the single-process loop records.
+sharded = _obs_cluster(Tracer())
+run_sharded(sharded, obs_reqs, n_workers=2)
+verdict = "reconciles with" if sharded.tracer.events() == events \
+    else "DIVERGES from"
+print(f"\nshard-merged trace {verdict} single-process "
+      f"({len(events)} events, 2 workers)")
+
+trace_out = Path(ARGS.trace) if ARGS.trace \
+    else Path(tempfile.mkdtemp()) / "trace.json"
+stats = validate_chrome_trace(
+    write_chrome_trace(trace_out, events, traced.metrics))
+print(f"Perfetto trace -> {trace_out} ({stats['n_events']} events, "
+      f"{stats['complete_pairs']} spans, {stats['counters']} counter "
+      f"samples) — load at https://ui.perfetto.dev")
+if ARGS.metrics:
+    write_metrics_csv(Path(ARGS.metrics), traced.metrics)
+    print(f"metrics CSV -> {ARGS.metrics}")
+print("\n" + timeline_report(events, max_requests=5))
+
+# ----------------------------------------------------------------------
+# 7. Disaggregated prefill/decode pools with KV migration (--disaggregate).
 # ----------------------------------------------------------------------
 if ARGS.disaggregate:
     print("\nDisaggregated serving (1 prefill + 1 decode replica, 1 GiB "

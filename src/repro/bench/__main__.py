@@ -49,7 +49,9 @@ def _cmd_run(args) -> int:
         root = Path(args.sweep_dir)
     else:
         root = plan_sweep(get_matrix(args.matrix), args.out, name=args.name).root
-    summary = run_sweep(root, max_runs=args.max_runs, progress=print)
+    summary = run_sweep(
+        root, max_runs=args.max_runs, progress=print, trace=args.trace
+    )
     payload = aggregate(root)
     (root / REPORT_MD).write_text(render_report(payload))
     print(
@@ -131,6 +133,9 @@ def main(argv=None) -> int:
     p.add_argument("--name", default=None)
     p.add_argument("--max-runs", type=int, default=None,
                    help="stop after N executions (sweep stays resumable)")
+    p.add_argument("--trace", action="store_true",
+                   help="write a Perfetto trace per executed cell "
+                        "(runs/<cell_id>/trace.json; linked in report.md)")
     p.set_defaults(func=_cmd_run)
 
     p = sub.add_parser("report", help="render a sweep dir's markdown report")

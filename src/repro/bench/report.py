@@ -125,6 +125,11 @@ def aggregate(sweep_dir) -> dict:
             "result": manifest["result"],
             "error": manifest["error"],
         }
+        # Traced sweeps only: the per-cell Perfetto artifact's filename.
+        # Untraced manifests have no "trace" key, so committed aggregates
+        # regenerate byte-identically.
+        if "trace" in manifest:
+            cells[spec.cell_id]["trace"] = manifest["trace"]
         wall += manifest["wall_clock_s"] or 0.0
         if manifest["status"] == "completed":
             simulated += manifest["result"]["requests"]
@@ -293,6 +298,15 @@ def render_report(payload: dict) -> str:
     if payload.get("pareto"):
         front = ", ".join(f"`{cid}`" for cid in payload["pareto"])
         lines.append(f"- Pareto front ($/Mtok x p99 TTFT): {front}")
+
+    traced = {cid: c["trace"] for cid, c in cells.items() if c.get("trace")}
+    if traced:
+        lines += ["", "## Traces", ""]
+        lines += [
+            f"- `{cid}`: [`runs/{cid}/{name}`](runs/{cid}/{name}) "
+            "(load in Perfetto: https://ui.perfetto.dev)"
+            for cid, name in traced.items()
+        ]
 
     skipped = payload.get("skipped_infeasible", [])
     if skipped:

@@ -54,7 +54,7 @@ def _build_cluster(spec: RunSpec) -> ServingCluster:
     return ServingCluster(ARCHS[spec.arch], spec.recipe, **kwargs)
 
 
-def execute_run(spec: RunSpec) -> dict:
+def execute_run(spec: RunSpec, trace_path=None) -> dict:
     """Execute one cell and return its deterministic result payload.
 
     Runs the seeded workload through the cell's fleet, measures the
@@ -63,9 +63,30 @@ def execute_run(spec: RunSpec) -> dict:
     and attaches the :func:`~repro.bench.pricing.price_cell` block.
     Same spec → same payload, byte for byte — the property resume and
     the committed ``BENCH_sweep.json`` artifact both rest on.
+
+    ``trace_path`` (optional) attaches a :class:`repro.obs.Tracer` and
+    :class:`repro.obs.MetricsRegistry` to the run and writes the
+    Perfetto-loadable Chrome trace there. The result payload is
+    unchanged — tracing never perturbs the simulation (the obs test
+    suite pins the fingerprint) — so traced and untraced cells stay
+    byte-identical in the aggregate.
     """
     requests = build_workload(spec.workload, spec.n_requests, spec.seed)
-    fleet = _build_cluster(spec).run(requests)
+    cluster = _build_cluster(spec)
+    tracer = metrics = None
+    if trace_path is not None:
+        from ..obs import MetricsRegistry, Tracer
+
+        tracer = cluster.tracer = Tracer()
+        metrics = cluster.metrics = MetricsRegistry()
+        for i, engine in enumerate(cluster.engines):
+            engine.tracer = tracer
+            engine.trace_replica = i
+    fleet = cluster.run(requests)
+    if trace_path is not None:
+        from ..obs import write_chrome_trace
+
+        write_chrome_trace(trace_path, tracer.events(), metrics)
     result = {
         "requests": len(fleet.responses),
         "total_tokens": fleet.total_tokens,
@@ -93,6 +114,7 @@ def run_sweep(
     executor=None,
     max_runs: int | None = None,
     progress=None,
+    trace: bool = False,
 ) -> dict:
     """Execute (or resume) every planned run under ``sweep_dir``.
 
@@ -101,6 +123,12 @@ def run_sweep(
     caps how many cells actually execute this invocation — the hook for
     exercising interrupted sweeps deterministically; ``progress`` is an
     optional callable receiving one line per cell.
+
+    ``trace=True`` records a Perfetto trace per executed cell at
+    ``runs/<cell_id>/trace.json`` and notes the filename under the
+    manifest's ``"trace"`` key (absent on untraced cells, so existing
+    committed aggregates are unaffected). A custom ``executor`` must
+    then accept the ``trace_path`` keyword.
 
     Returns a summary dict: counts of ``executed`` / ``skipped``
     (already completed) / ``failed`` cells plus total wall-clock
@@ -121,9 +149,15 @@ def run_sweep(
         if max_runs is not None and executed + failed >= max_runs:
             say(f"stop after {max_runs} run(s) (--max-runs)")
             break
+        trace_path = None
+        if trace:
+            trace_path = plan.manifest_path(spec.cell_id).parent / "trace.json"
         t0 = time.perf_counter()
         try:
-            result = executor(spec)
+            if trace_path is not None:
+                result = executor(spec, trace_path=trace_path)
+            else:
+                result = executor(spec)
         except Exception as exc:  # failure isolation: the sweep continues
             wall = time.perf_counter() - t0
             manifest.update(
@@ -148,6 +182,8 @@ def run_sweep(
             wall_clock_s=wall,
             finished_at=datetime.now().isoformat(timespec="seconds"),
         )
+        if trace_path is not None:
+            manifest["trace"] = trace_path.name
         write_manifest(plan.root, spec.cell_id, manifest)
         executed += 1
         wall_total += wall

@@ -1,0 +1,427 @@
+"""Trace exporters: Perfetto JSON, JSONL logs, timeline reports, CSV.
+
+The tracer keeps flat events; this module turns them into artifacts:
+
+* :func:`lifecycle_spans` — derive per-request queue / prefill /
+  decode / transfer intervals from the ordered event stream (span
+  structure is reconstructed here so the hot emit path stays a tuple
+  append).
+* :func:`chrome_trace` / :func:`write_chrome_trace` — Chrome
+  trace-event JSON, loadable in Perfetto (https://ui.perfetto.dev) or
+  ``chrome://tracing``. Replica ``r`` maps to pid ``r + 1``; pid 0 is
+  the cluster lane (routing, transfers, metric counters); tid 0 on each
+  replica is the step track and each request gets its own tid. Spans
+  are matched ``B``/``E`` pairs, lifecycle moments are ``i`` instants,
+  metric series become ``C`` counters.
+* :func:`validate_chrome_trace` — the schema check CI runs: ``ts``
+  non-decreasing and every ``B`` matched by an ``E`` on its track.
+* :func:`write_event_log` — one JSON object per event (JSONL), the
+  grep-friendly form.
+* :func:`timeline_report` — a markdown/terminal per-request table.
+* :func:`write_metrics_csv` — gauge series as ``name,t,value`` rows.
+
+All writers serialise with sorted keys and fixed separators, so the
+same event multiset always produces byte-identical files — the
+determinism contract the obs tests pin.
+
+>>> from repro.obs.trace import TraceEvent
+>>> events = [
+...     TraceEvent(0.0, 0, "arrive", "r0", (8, 2)),
+...     TraceEvent(0.1, 0, "admit", "r0", (0, 8)),
+...     TraceEvent(0.1, 0, "prefill_chunk", "r0", (8, 0.2)),
+...     TraceEvent(0.5, 0, "finish", "r0", (2,)),
+... ]
+>>> [(s.name, s.t0, s.t1) for s in lifecycle_spans(events)]
+[('queue', 0.0, 0.1), ('prefill', 0.1, 0.2), ('decode', 0.2, 0.5)]
+>>> payload = chrome_trace(events)
+>>> validate_chrome_trace(payload)["complete_pairs"]
+3
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Iterable, NamedTuple
+
+from .metrics import MetricsRegistry
+from .trace import KIND_ORDER, TraceEvent, event_key
+
+__all__ = [
+    "Span",
+    "lifecycle_spans",
+    "chrome_trace",
+    "write_chrome_trace",
+    "validate_chrome_trace",
+    "write_event_log",
+    "timeline_report",
+    "write_metrics_csv",
+]
+
+_JSON_KW = {"sort_keys": True, "separators": (",", ":")}
+
+#: Lifecycle moments rendered as Perfetto instant events.
+_INSTANT_KINDS = (
+    "arrive",
+    "route",
+    "autoscale",
+    "import",
+    "admit",
+    "preempt",
+    "first_token",
+    "finish",
+    "export",
+)
+
+
+class Span(NamedTuple):
+    """One derived interval in a request's life.
+
+    ``name`` is ``queue`` / ``prefill`` / ``decode`` / ``transfer``;
+    ``replica`` is ``-1`` for cluster-lane spans (transfers).
+
+    >>> Span("r0", "decode", 1.0, 2.5, 0).name
+    'decode'
+    """
+
+    req: str
+    name: str
+    t0: float
+    t1: float
+    replica: int
+
+
+def lifecycle_spans(events: Iterable[TraceEvent]) -> list[Span]:
+    """Reconstruct per-request spans from the flat event stream.
+
+    Walks each request's events in canonical order and stitches the
+    state machine back together: ``arrive``/``import`` open a queue
+    wait, ``admit`` closes it, ``prefill_chunk`` events are prefill
+    spans, the gap from the last chunk (or admission) to
+    ``preempt``/``export``/``finish`` is decode, and ``transfer``
+    events become cluster-lane spans. Tolerant of truncated streams
+    (flight-recorder rings drop prefixes): spans whose opening event
+    was evicted are simply not emitted.
+
+    Output order is deterministic: requests sorted by id, spans in
+    time order within a request.
+    """
+    by_req: dict[str, list[TraceEvent]] = {}
+    for e in sorted(events, key=event_key):
+        if e.req:
+            by_req.setdefault(e.req, []).append(e)
+
+    spans: list[Span] = []
+    for req in sorted(by_req):
+        queued_at: float | None = None
+        admit_t: float | None = None
+        last_chunk_end: float | None = None
+        for e in by_req[req]:
+            if e.kind in ("arrive", "import"):
+                queued_at = e.t
+            elif e.kind == "admit":
+                if queued_at is not None:
+                    spans.append(Span(req, "queue", queued_at, e.t, e.replica))
+                    queued_at = None
+                admit_t, last_chunk_end = e.t, None
+            elif e.kind == "prefill_chunk":
+                rows, t_end = e.data[0], e.data[1]
+                spans.append(Span(req, "prefill", e.t, t_end, e.replica))
+                last_chunk_end = t_end
+            elif e.kind in ("preempt", "export", "finish"):
+                start = last_chunk_end if last_chunk_end is not None else admit_t
+                if start is not None and e.t > start:
+                    spans.append(Span(req, "decode", start, e.t, e.replica))
+                admit_t = last_chunk_end = None
+                if e.kind == "preempt":
+                    queued_at = e.t
+            elif e.kind == "transfer":
+                arrive_s = e.data[5]
+                spans.append(Span(req, "transfer", e.t, arrive_s, -1))
+    return spans
+
+
+def _us(t: float) -> float:
+    """Virtual seconds → trace microseconds (Perfetto's unit)."""
+    return round(t * 1_000_000.0, 3)
+
+
+def chrome_trace(
+    events: Iterable[TraceEvent],
+    metrics: MetricsRegistry | dict | None = None,
+) -> dict:
+    """Build a Chrome trace-event payload from events (+ optional metrics).
+
+    Deterministic: the payload is a pure function of the event multiset
+    and the metrics snapshot. Pass the same ``Tracer.events()`` twice
+    and the serialised bytes match (see :func:`write_chrome_trace`).
+    """
+    events = sorted(events, key=event_key)
+    spans = lifecycle_spans(events)
+
+    # Deterministic lane assignment: pid = replica + 1 (pid 0 is the
+    # cluster lane), tid = 0 for the step track, requests numbered in
+    # sorted-id order per pid starting at 1.
+    req_tid: dict[tuple[int, str], int] = {}
+    per_pid_reqs: dict[int, set[str]] = {}
+    for s in spans:
+        per_pid_reqs.setdefault(s.replica + 1, set()).add(s.req)
+    for e in events:
+        if e.req and e.kind in _INSTANT_KINDS:
+            per_pid_reqs.setdefault(e.replica + 1, set()).add(e.req)
+    for pid in per_pid_reqs:
+        for i, req in enumerate(sorted(per_pid_reqs[pid])):
+            req_tid[(pid, req)] = i + 1
+
+    # Per-track sequences are built in causal order, then stably merged
+    # by ts — equal-ts B/E pairs on one track keep their relative order.
+    tracks: dict[tuple[int, int], list[dict]] = {}
+
+    def track(pid: int, tid: int) -> list[dict]:
+        return tracks.setdefault((pid, tid), [])
+
+    for s in spans:
+        pid = s.replica + 1
+        tid = req_tid[(pid, s.req)]
+        args = {"req": s.req}
+        track(pid, tid).append(
+            {"name": s.name, "cat": "request", "ph": "B",
+             "ts": _us(s.t0), "pid": pid, "tid": tid, "args": args}
+        )
+        track(pid, tid).append(
+            {"name": s.name, "cat": "request", "ph": "E",
+             "ts": _us(s.t1), "pid": pid, "tid": tid}
+        )
+
+    for e in events:
+        if e.kind == "step":
+            t_end, kind, n_prefill, n_decode = e.data[0], e.data[1], e.data[2], e.data[3]
+            notes = e.data[4] if len(e.data) > 4 else ()
+            pid = e.replica + 1
+            args = {"kind": kind, "prefill_rows": n_prefill, "decode_rows": n_decode}
+            for key, value in notes:
+                args[str(key)] = value
+            track(pid, 0).append(
+                {"name": f"step:{kind}", "cat": "step", "ph": "B",
+                 "ts": _us(e.t), "pid": pid, "tid": 0, "args": args}
+            )
+            track(pid, 0).append(
+                {"name": f"step:{kind}", "cat": "step", "ph": "E",
+                 "ts": _us(t_end), "pid": pid, "tid": 0}
+            )
+        elif e.kind in _INSTANT_KINDS:
+            pid = e.replica + 1
+            tid = req_tid.get((pid, e.req), 0)
+            track(pid, tid).append(
+                {"name": e.kind, "cat": "lifecycle", "ph": "i", "s": "t",
+                 "ts": _us(e.t), "pid": pid, "tid": tid,
+                 "args": {"req": e.req, "data": list(e.data)}}
+            )
+
+    if metrics is not None:
+        snapshot = metrics.snapshot() if isinstance(metrics, MetricsRegistry) else metrics
+        for name in sorted(snapshot.get("series", {})):
+            for t, value in snapshot["series"][name]:
+                track(0, 0).append(
+                    {"name": name, "cat": "metric", "ph": "C",
+                     "ts": _us(t), "pid": 0, "tid": 0, "args": {name: value}}
+                )
+
+    merged: list[dict] = []
+    for key in sorted(tracks):
+        merged.extend(tracks[key])
+    merged.sort(key=lambda ev: ev["ts"])  # stable: per-track order kept
+
+    meta: list[dict] = []
+    for pid in sorted({k[0] for k in tracks}):
+        pname = "cluster" if pid == 0 else f"replica-{pid - 1}"
+        meta.append({"name": "process_name", "ph": "M", "ts": 0,
+                     "pid": pid, "tid": 0, "args": {"name": pname}})
+    tid_name = {(pid, tid): req for (pid, req), tid in req_tid.items()}
+    for pid, tid in sorted(tracks):
+        if tid == 0:
+            tname = "metrics" if pid == 0 else "steps"
+        else:
+            tname = tid_name.get((pid, tid), f"tid-{tid}")
+        meta.append({"name": "thread_name", "ph": "M", "ts": 0,
+                     "pid": pid, "tid": tid, "args": {"name": tname}})
+
+    return {
+        "displayTimeUnit": "ms",
+        "otherData": {"generator": "repro.obs", "n_events": len(events)},
+        "traceEvents": meta + merged,
+    }
+
+
+def write_chrome_trace(
+    path,
+    events: Iterable[TraceEvent],
+    metrics: MetricsRegistry | dict | None = None,
+) -> dict:
+    """Serialise :func:`chrome_trace` to ``path`` (byte-deterministic).
+
+    Sorted keys + fixed separators: the same events and metrics always
+    yield the same bytes. Returns the payload.
+    """
+    payload = chrome_trace(events, metrics)
+    with open(path, "w") as fh:
+        json.dump(payload, fh, **_JSON_KW)
+        fh.write("\n")
+    return payload
+
+
+def validate_chrome_trace(payload: dict) -> dict:
+    """Schema-check a trace payload; raise ``ValueError`` on violation.
+
+    Checks the two properties CI gates on: non-``M`` events appear in
+    non-decreasing ``ts`` order, and every ``B`` has a matching same-name
+    ``E`` on its ``(pid, tid)`` track (LIFO nesting). Returns summary
+    stats: total events, matched pair count, instants, counters.
+    """
+    trace_events = payload.get("traceEvents")
+    if not isinstance(trace_events, list):
+        raise ValueError("payload has no traceEvents list")
+    last_ts = None
+    stacks: dict[tuple, list[str]] = {}
+    pairs = instants = counters = 0
+    for ev in trace_events:
+        ph = ev.get("ph")
+        if ph == "M":
+            continue
+        ts = ev.get("ts")
+        if not isinstance(ts, (int, float)):
+            raise ValueError(f"event missing numeric ts: {ev}")
+        if last_ts is not None and ts < last_ts:
+            raise ValueError(f"ts went backwards: {ts} < {last_ts}")
+        last_ts = ts
+        key = (ev.get("pid"), ev.get("tid"))
+        if ph == "B":
+            stacks.setdefault(key, []).append(ev["name"])
+        elif ph == "E":
+            stack = stacks.get(key)
+            if not stack:
+                raise ValueError(f"E without B on track {key}: {ev}")
+            opened = stack.pop()
+            if opened != ev["name"]:
+                raise ValueError(
+                    f"mismatched pair on track {key}: B={opened!r} E={ev['name']!r}"
+                )
+            pairs += 1
+        elif ph == "i":
+            instants += 1
+        elif ph == "C":
+            counters += 1
+        else:
+            raise ValueError(f"unknown phase {ph!r}: {ev}")
+    unclosed = {k: v for k, v in stacks.items() if v}
+    if unclosed:
+        raise ValueError(f"unclosed B events: {unclosed}")
+    return {
+        "n_events": len(trace_events),
+        "complete_pairs": pairs,
+        "instants": instants,
+        "counters": counters,
+    }
+
+
+def write_event_log(path, events: Iterable[TraceEvent]) -> int:
+    """Write events as JSONL (one object per line, canonical order).
+
+    The grep-friendly artifact: ``jq 'select(.kind=="preempt")'`` and
+    friends work directly. Returns the number of lines written.
+    """
+    ordered = sorted(events, key=event_key)
+    with open(path, "w") as fh:
+        for e in ordered:
+            fh.write(json.dumps(
+                {"t": e.t, "replica": e.replica, "kind": e.kind,
+                 "req": e.req, "data": list(e.data)},
+                **_JSON_KW,
+            ))
+            fh.write("\n")
+    return len(ordered)
+
+
+def timeline_report(
+    events: Iterable[TraceEvent],
+    max_requests: int = 20,
+) -> str:
+    """Render a markdown per-request timeline table plus event counts.
+
+    One row per request (first ``max_requests`` by arrival): arrival,
+    admission, finish, and the summed queue / prefill / decode seconds
+    from :func:`lifecycle_spans`. Readable both as markdown and raw in
+    a terminal.
+    """
+    events = sorted(events, key=event_key)
+    spans = lifecycle_spans(events)
+    per_req: dict[str, dict] = {}
+    for e in events:
+        if not e.req:
+            continue
+        row = per_req.setdefault(
+            e.req, {"arrive": None, "admit": None, "finish": None, "preempts": 0}
+        )
+        if e.kind == "arrive" and row["arrive"] is None:
+            row["arrive"] = e.t
+        elif e.kind == "admit" and row["admit"] is None:
+            row["admit"] = e.t
+        elif e.kind == "finish":
+            row["finish"] = e.t
+        elif e.kind == "preempt":
+            row["preempts"] += 1
+    for s in spans:
+        row = per_req.get(s.req)
+        if row is not None:
+            row[s.name] = row.get(s.name, 0.0) + (s.t1 - s.t0)
+
+    kind_counts: dict[str, int] = {}
+    for e in events:
+        kind_counts[e.kind] = kind_counts.get(e.kind, 0) + 1
+
+    ordered_reqs = sorted(
+        per_req,
+        key=lambda r: (per_req[r]["arrive"] if per_req[r]["arrive"] is not None else float("inf"), r),
+    )
+
+    def fmt(v) -> str:
+        return f"{v:.4f}" if isinstance(v, float) else ("-" if v is None else str(v))
+
+    lines = [
+        "# Timeline report",
+        "",
+        f"{len(per_req)} requests, {len(events)} events "
+        f"(showing first {min(max_requests, len(per_req))} by arrival)",
+        "",
+        "| request | arrive | admit | finish | queue_s | prefill_s | decode_s | preempts |",
+        "|---|---|---|---|---|---|---|---|",
+    ]
+    for req in ordered_reqs[:max_requests]:
+        row = per_req[req]
+        lines.append(
+            "| {} | {} | {} | {} | {} | {} | {} | {} |".format(
+                req, fmt(row["arrive"]), fmt(row["admit"]), fmt(row["finish"]),
+                fmt(row.get("queue", 0.0)), fmt(row.get("prefill", 0.0)),
+                fmt(row.get("decode", 0.0)), row["preempts"],
+            )
+        )
+    lines += ["", "## Event counts", ""]
+    for kind in sorted(kind_counts, key=lambda k: KIND_ORDER.get(k, 99)):
+        lines.append(f"- {kind}: {kind_counts[kind]}")
+    return "\n".join(lines) + "\n"
+
+
+def write_metrics_csv(path, metrics: MetricsRegistry | dict) -> int:
+    """Write gauge series as ``series,t,value`` CSV rows (sorted).
+
+    Accepts a live registry or a ``snapshot()`` dict. Returns the
+    number of data rows written.
+    """
+    snapshot = metrics.snapshot() if isinstance(metrics, MetricsRegistry) else metrics
+    rows = 0
+    with open(path, "w") as fh:
+        fh.write("series,t,value\n")
+        for name in sorted(snapshot.get("series", {})):
+            for t, value in snapshot["series"][name]:
+                fh.write(f"{name},{t!r},{value!r}\n")
+                rows += 1
+    return rows

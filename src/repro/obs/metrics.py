@@ -1,0 +1,266 @@
+"""Fleet metrics: counters, gauges, histograms, virtual-time series.
+
+Where :mod:`repro.obs.trace` records *events* (points in a request's
+life), this module records *state* — how deep the queue is, how many KV
+tokens are free, how often the step-time cache hits — sampled on the
+same deterministic virtual clock the simulation runs on. A
+:class:`MetricsRegistry` is passed to
+:class:`repro.serve.ServingCluster` exactly like a tracer: the off-path
+is a single ``if metrics is not None`` and an untraced run's results
+are bit-identical.
+
+Three instrument kinds, all deliberately tiny:
+
+* :class:`Counter` — monotone totals (preemptions, transfers started).
+* :class:`Gauge` — instantaneous values (queue depth, free KV tokens);
+  each ``set()`` may also append a ``(t, value)`` sample to the gauge's
+  virtual-time series, throttled by the registry's ``interval_s``.
+* :class:`Histogram` — fixed-bucket distributions (queue wait seconds);
+  buckets are chosen at construction so identical runs bin identically.
+
+Series sampling is interval-gated *per gauge* so a million-arrival run
+at ``interval_s=1.0`` keeps one point per simulated second rather than
+one per arrival; ``interval_s=0.0`` keeps every sample.
+
+>>> reg = MetricsRegistry()
+>>> reg.counter("preemptions").inc()
+>>> reg.gauge("queue_depth").set(0.0, 3)
+>>> reg.gauge("queue_depth").set(2.5, 1)
+>>> reg.histogram("wait_s", (0.1, 1.0, 10.0)).observe(0.4)
+>>> snap = reg.snapshot()
+>>> snap["counters"]["preemptions"]
+1
+>>> snap["series"]["queue_depth"]
+[(0.0, 3), (2.5, 1)]
+>>> snap["histograms"]["wait_s"]["counts"]
+[0, 1, 0, 0]
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "bisect_left_bound",
+]
+
+
+class Counter:
+    """A monotonically increasing total.
+
+    >>> c = Counter("transfers")
+    >>> c.inc(); c.inc(2)
+    >>> c.value
+    3
+    """
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        """Add ``amount`` (must be non-negative) to the total."""
+        if amount < 0:
+            raise ValueError("counters only go up; use a Gauge")
+        self.value += amount
+
+
+class Gauge:
+    """An instantaneous value with an optional virtual-time series.
+
+    ``set(t, value)`` updates the current value and, when the gauge's
+    sampling interval has elapsed since the last kept sample (or the
+    value is the first/last of the run), appends ``(t, value)`` to the
+    series. Repeated sets at the same virtual instant overwrite the
+    last sample instead of duplicating it, so the series is strictly
+    increasing in ``t``.
+
+    >>> g = Gauge("free_kv", interval_s=1.0)
+    >>> g.set(0.0, 10); g.set(0.4, 9); g.set(1.2, 7)
+    >>> g.value, g.series
+    (7, [(0.0, 10), (1.2, 7)])
+    """
+
+    __slots__ = ("name", "value", "series", "interval_s", "_next_sample_t")
+
+    def __init__(self, name: str, interval_s: float = 0.0) -> None:
+        self.name = name
+        self.value = 0
+        self.series: list[tuple[float, float]] = []
+        self.interval_s = interval_s
+        self._next_sample_t = float("-inf")
+
+    def set(self, t: float, value) -> None:
+        """Record ``value`` at virtual time ``t`` (series is throttled)."""
+        self.value = value
+        if t >= self._next_sample_t:
+            if self.series and self.series[-1][0] == t:
+                self.series[-1] = (t, value)
+            else:
+                self.series.append((t, value))
+            self._next_sample_t = t + self.interval_s
+
+    def sample_final(self, t: float) -> None:
+        """Force-record the closing value so series end at run end."""
+        if self.series and self.series[-1][0] == t:
+            self.series[-1] = (t, self.value)
+        else:
+            self.series.append((t, self.value))
+        self._next_sample_t = t + self.interval_s
+
+
+class Histogram:
+    """A fixed-bucket distribution (upper-bound buckets plus overflow).
+
+    ``bounds`` are the inclusive upper edges; an observation lands in
+    the first bucket whose bound is >= the value, or the overflow
+    bucket past the last bound. Fixed construction-time bounds keep
+    binning deterministic across runs.
+
+    >>> h = Histogram("wait_s", (0.1, 1.0))
+    >>> for v in (0.05, 0.5, 0.5, 99.0):
+    ...     h.observe(v)
+    >>> h.counts, h.total, round(h.sum, 2)
+    ([1, 2, 1], 4, 100.05)
+    """
+
+    __slots__ = ("name", "bounds", "counts", "total", "sum")
+
+    def __init__(self, name: str, bounds: tuple[float, ...]) -> None:
+        if list(bounds) != sorted(bounds):
+            raise ValueError("histogram bounds must be sorted ascending")
+        self.name = name
+        self.bounds = tuple(bounds)
+        self.counts = [0] * (len(bounds) + 1)
+        self.total = 0
+        self.sum = 0.0
+
+    def observe(self, value: float) -> None:
+        """Bin one observation."""
+        self.counts[bisect_left_bound(self.bounds, value)] += 1
+        self.total += 1
+        self.sum += value
+
+    def snapshot(self) -> dict:
+        """Buckets, counts, total, and sum as a plain dict."""
+        return {
+            "bounds": list(self.bounds),
+            "counts": list(self.counts),
+            "total": self.total,
+            "sum": self.sum,
+        }
+
+
+def bisect_left_bound(bounds: tuple[float, ...], value: float) -> int:
+    """Index of the first bound >= value (len(bounds) when none).
+
+    >>> bisect_left_bound((0.1, 1.0), 0.5)
+    1
+    >>> bisect_left_bound((0.1, 1.0), 99.0)
+    2
+    """
+    lo, hi = 0, len(bounds)
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if bounds[mid] < value:
+            lo = mid + 1
+        else:
+            hi = mid
+    return lo
+
+
+class MetricsRegistry:
+    """Named instruments plus a shared series-sampling interval.
+
+    ``interval_s`` is the default per-gauge series throttle — ``0.0``
+    keeps every sample (fine for 10k-request runs), ``1.0`` keeps about
+    one point per simulated second (fine for millions). Instruments are
+    created on first use and returned on every later lookup, so call
+    sites stay one line.
+
+    >>> reg = MetricsRegistry(interval_s=0.5)
+    >>> reg.gauge("running") is reg.gauge("running")
+    True
+    >>> reg.counter("preemptions").inc(3)
+    >>> reg.snapshot()["counters"]
+    {'preemptions': 3}
+    """
+
+    __slots__ = ("interval_s", "counters", "gauges", "histograms", "_next_t")
+
+    def __init__(self, interval_s: float = 0.0) -> None:
+        self.interval_s = interval_s
+        self.counters: dict[str, Counter] = {}
+        self.gauges: dict[str, Gauge] = {}
+        self.histograms: dict[str, Histogram] = {}
+        self._next_t = float("-inf")
+
+    def due(self, t: float) -> bool:
+        """Whether a sampling pass is due at virtual time ``t``.
+
+        The registry-level throttle: instrumentation that must *compute*
+        its sample values (e.g. summing queue depths over a fleet) asks
+        this first, so at ``interval_s=1.0`` a million-arrival run does
+        the O(replicas) walk about once per simulated second.
+
+        >>> reg = MetricsRegistry(interval_s=1.0)
+        >>> [reg.due(t) for t in (0.0, 0.4, 1.2, 1.3)]
+        [True, False, True, False]
+        """
+        if t >= self._next_t:
+            self._next_t = t + self.interval_s
+            return True
+        return False
+
+    def counter(self, name: str) -> Counter:
+        """Get or create the named counter."""
+        c = self.counters.get(name)
+        if c is None:
+            c = self.counters[name] = Counter(name)
+        return c
+
+    def gauge(self, name: str) -> Gauge:
+        """Get or create the named gauge (registry's interval applies)."""
+        g = self.gauges.get(name)
+        if g is None:
+            g = self.gauges[name] = Gauge(name, self.interval_s)
+        return g
+
+    def histogram(self, name: str, bounds: tuple[float, ...]) -> Histogram:
+        """Get or create the named histogram with fixed ``bounds``."""
+        h = self.histograms.get(name)
+        if h is None:
+            h = self.histograms[name] = Histogram(name, bounds)
+        return h
+
+    def sample_final(self, t: float) -> None:
+        """Close every gauge series at virtual time ``t``."""
+        for g in self.gauges.values():
+            g.sample_final(t)
+
+    def snapshot(self) -> dict:
+        """All instruments as plain, JSON-friendly data (sorted names).
+
+        Keys: ``counters`` (name → int), ``gauges`` (name → last
+        value), ``series`` (name → [(t, value), ...]), ``histograms``
+        (name → bounds/counts/total/sum).
+        """
+        return {
+            "counters": {k: self.counters[k].value for k in sorted(self.counters)},
+            "gauges": {k: self.gauges[k].value for k in sorted(self.gauges)},
+            "series": {k: list(self.gauges[k].series) for k in sorted(self.gauges)},
+            "histograms": {
+                k: self.histograms[k].snapshot() for k in sorted(self.histograms)
+            },
+        }
+
+    def clear(self) -> None:
+        """Forget every instrument (reuse across runs)."""
+        self.counters.clear()
+        self.gauges.clear()
+        self.histograms.clear()
+        self._next_t = float("-inf")

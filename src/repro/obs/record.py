@@ -1,0 +1,81 @@
+"""Size-capped flight recorder: the memory bound under every tracer.
+
+A million-request simulation can emit tens of millions of trace events;
+holding them all would dwarf the simulation's own working set. The
+:class:`FlightRecorder` is the classic fix — a ring buffer that keeps
+the **most recent** ``capacity`` entries and counts what it dropped, so
+a long run can always trace its tail (where the preemption storm or the
+link stall actually happened) at a fixed memory budget.
+
+``capacity=None`` disables the cap entirely — the mode the determinism
+tests use, since ring eviction order depends on emission order and two
+differently-ordered (but equal) event multisets would keep different
+survivors.
+
+>>> rec = FlightRecorder(capacity=2)
+>>> for i in range(5):
+...     rec.append(i)
+>>> list(rec), rec.appended, rec.dropped
+([3, 4], 5, 3)
+>>> unbounded = FlightRecorder()
+>>> unbounded.capacity is None and unbounded.dropped == 0
+True
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+__all__ = ["FlightRecorder"]
+
+
+class FlightRecorder:
+    """Append-only ring buffer keeping the newest ``capacity`` items.
+
+    ``capacity=None`` means unbounded (a plain list-like log). The
+    recorder never inspects its items — the :class:`repro.obs.Tracer`
+    stores event tuples in one, but any payload works.
+    """
+
+    __slots__ = ("capacity", "appended", "_items")
+
+    def __init__(self, capacity: int | None = None) -> None:
+        if capacity is not None and capacity < 1:
+            raise ValueError("capacity must be >= 1 (or None for unbounded)")
+        self.capacity = capacity
+        self.appended = 0
+        self._items: deque = deque(maxlen=capacity)
+
+    def append(self, item) -> None:
+        """Record one item, evicting the oldest when at capacity."""
+        self._items.append(item)
+        self.appended += 1
+
+    def extend(self, items) -> None:
+        """Record many items in order (same eviction semantics)."""
+        for item in items:
+            self._items.append(item)
+            self.appended += 1
+
+    @property
+    def dropped(self) -> int:
+        """How many items the ring has evicted since the last clear."""
+        return self.appended - len(self._items)
+
+    def clear(self) -> None:
+        """Drop everything and reset the appended/dropped counters."""
+        self._items.clear()
+        self.appended = 0
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __iter__(self):
+        return iter(self._items)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        cap = "∞" if self.capacity is None else str(self.capacity)
+        return (
+            f"FlightRecorder({len(self)}/{cap} held, "
+            f"{self.dropped} dropped)"
+        )

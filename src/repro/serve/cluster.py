@@ -67,6 +67,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..gpu.inference import step_time_cache_info
 from ..gpu.spec import GPUSpec, RTX5090
 from ..models.zoo import ArchSpec
 from .engine import (
@@ -548,9 +549,20 @@ class FleetResult:
         return good / self.makespan_s
 
     def summary(
-        self, ttft_slo_s: float | None = None, tpot_slo_s: float | None = None
+        self,
+        ttft_slo_s: float | None = None,
+        tpot_slo_s: float | None = None,
+        include_probes: bool = False,
     ) -> dict:
-        """Fleet metrics plus per-replica summaries (JSON-friendly)."""
+        """Fleet metrics plus per-replica summaries (JSON-friendly).
+
+        ``include_probes=True`` appends a ``"probes"`` block with the
+        process-wide :func:`~repro.gpu.inference.step_time_cache_info`
+        hit/miss counters and this result's ``sorts_performed`` — cache
+        introspection for profiling. Default off: probes are machine-
+        and history-dependent, and committed artifacts must stay
+        byte-identical.
+        """
         out = {
             "router": self.router,
             "n_replicas": self.n_replicas,
@@ -578,6 +590,11 @@ class FleetResult:
                     "transfer_stall_s_total": self.transfer_stall_s_total,
                 }
             )
+        if include_probes:
+            out["probes"] = {
+                "sorts_performed": self.sorts_performed,
+                "step_time_cache": step_time_cache_info(),
+            }
         return out
 
 
@@ -747,6 +764,23 @@ class ServingCluster:
         :class:`~repro.serve.kvcache.KVTransfer`, a preset name from
         :data:`repro.serve.kvcache.INTERCONNECTS`, or ``None`` for the
         PCIe 5-class default.
+    tracer:
+        Optional :class:`repro.obs.Tracer` shared by the whole fleet:
+        every replica engine emits lifecycle/step events into it (tagged
+        with its replica index), and the cluster adds routing, autoscale,
+        and KV-transfer events on the ``-1`` cluster lane. Off-path is a
+        single ``if`` per site — results are bit-identical untraced.
+    metrics:
+        Optional :class:`repro.obs.MetricsRegistry`. The event loop
+        samples fleet gauges (queue depth, running/waiting, free KV
+        tokens, preemptions, replica count, step-time-cache hit rate,
+        and — disaggregated — transfers in flight / link busy time) at
+        arrival instants, throttled by the registry's ``interval_s``,
+        plus one closing sample at the fleet makespan. Note
+        ``step_cache_hit_rate`` reads the process-global
+        :func:`~repro.gpu.inference.step_time_cache_info` counters, so
+        for byte-identical metrics across two runs in one process call
+        :func:`~repro.gpu.inference.clear_step_time_cache` before each.
     """
 
     def __init__(
@@ -767,6 +801,8 @@ class ServingCluster:
         n_decode: int = 0,
         decode_router="free-kv-at-arrival",
         kv_transfer: KVTransfer | str | None = None,
+        tracer=None,
+        metrics=None,
     ) -> None:
         if n_prefill < 0 or n_decode < 0:
             raise ValueError("n_prefill and n_decode must be >= 0")
@@ -805,7 +841,13 @@ class ServingCluster:
             if self.disaggregated
             else ["unified"] * n_replicas
         )
+        self.tracer = tracer
+        self.metrics = metrics
         self.engines = [self._make_engine(role) for role in self.roles]
+        if tracer is not None:
+            for i, engine in enumerate(self.engines):
+                engine.tracer = tracer
+                engine.trace_replica = i
 
     def _make_engine(self, role: str = "unified") -> ServingEngine:
         """One replica: fresh paged cache, shared arch/recipe/GPU."""
@@ -870,6 +912,12 @@ class ServingCluster:
             if roles is not None:
                 roles.append(role)
             live.append(len(replicas) - 1)
+            if self.tracer is not None:
+                replicas[-1].tracer = self.tracer
+                replicas[-1].trace_replica = len(replicas) - 1
+                self.tracer.emit(
+                    t_arr, -1, "autoscale", "", ("scale-up", len(replicas) - 1)
+                )
             router.resize(len(replicas))
             state.track_new()
             events.append((t_arr, "scale-up", len(replicas) - 1))
@@ -882,6 +930,10 @@ class ServingCluster:
                 if not replicas[j].has_work() and j not in protect:
                     live.remove(j)
                     events.append((t_arr, "scale-down", j))
+                    if self.tracer is not None:
+                        self.tracer.emit(
+                            t_arr, -1, "autoscale", "", ("scale-down", j)
+                        )
 
     def _route_and_submit(
         self,
@@ -906,8 +958,49 @@ class ServingCluster:
                 f"{replica} (live: {live})"
             )
         assignments[request.request_id] = replica
+        if self.tracer is not None:
+            self.tracer.emit(
+                request.arrival_s, -1, "route",
+                request.request_id, (replica,),
+            )
         replicas[replica].submit(request)
         state.touch(replica)
+
+    def _sample_fleet_metrics(
+        self,
+        metrics,
+        t: float,
+        replicas: list[ServingEngine],
+        live: list[int],
+        transfers: list | None = None,
+    ) -> None:
+        """Record one fleet-wide gauge sample at virtual time ``t``.
+
+        Preemptions are counted over *all* replicas (retired ones keep
+        their history); occupancy gauges read the live set only.
+        """
+        n_running = sum(replicas[j].n_running for j in live)
+        n_waiting = sum(replicas[j].n_waiting for j in live)
+        metrics.gauge("n_running").set(t, n_running)
+        metrics.gauge("n_waiting").set(t, n_waiting)
+        metrics.gauge("queue_depth").set(t, n_running + n_waiting)
+        metrics.gauge("free_kv_tokens").set(
+            t, sum(replicas[j].free_kv_tokens for j in live)
+        )
+        metrics.gauge("n_replicas").set(t, len(live))
+        metrics.gauge("preemptions").set(
+            t, sum(e._preemptions for e in replicas)
+        )
+        info = step_time_cache_info()
+        lookups = info["hits"] + info["misses"]
+        metrics.gauge("step_cache_hit_rate").set(
+            t, info["hits"] / lookups if lookups else 0.0
+        )
+        if transfers is not None:
+            metrics.gauge("transfers_in_flight").set(t, len(transfers))
+            metrics.gauge("link_busy_s").set(
+                t, max(0.0, self._link_busy_until - t)
+            )
 
     @staticmethod
     def _fleet_responses(
@@ -987,6 +1080,12 @@ class ServingCluster:
                             autoscale_events,
                             state,
                         )
+                    if self.metrics is not None and self.metrics.due(
+                        request.arrival_s
+                    ):
+                        self._sample_fleet_metrics(
+                            self.metrics, request.arrival_s, replicas, live
+                        )
                     self._route_and_submit(
                         router, replicas, live, request, assignments, state
                     )
@@ -1010,6 +1109,10 @@ class ServingCluster:
         results = [
             engine.collect_ids(ids) for engine, ids in zip(replicas, shard_ids)
         ]
+        if self.metrics is not None:
+            t_end = max((e.clock for e in replicas), default=0.0)
+            self._sample_fleet_metrics(self.metrics, t_end, replicas, live)
+            self.metrics.sample_final(t_end)
         return FleetResult(
             responses=self._fleet_responses(input_ids, results),
             replica_results=results,
@@ -1096,6 +1199,16 @@ class ServingCluster:
                             role="prefill",
                             roles=roles,
                         )
+                    if self.metrics is not None and self.metrics.due(
+                        request.arrival_s
+                    ):
+                        self._sample_fleet_metrics(
+                            self.metrics,
+                            request.arrival_s,
+                            replicas,
+                            live_p + live_d,
+                            transfers=transfers,
+                        )
                     self._route_and_submit(
                         prefill_router,
                         replicas,
@@ -1150,6 +1263,13 @@ class ServingCluster:
             )
             for engine in replicas
         ]
+        if self.metrics is not None:
+            t_end = max((e.clock for e in replicas), default=0.0)
+            self._sample_fleet_metrics(
+                self.metrics, t_end, replicas, live_p + live_d,
+                transfers=transfers,
+            )
+            self.metrics.sample_final(t_end)
         return FleetResult(
             responses=self._fleet_responses(input_ids, results),
             replica_results=results,
@@ -1240,6 +1360,11 @@ class ServingCluster:
                 "arrive_s": t_arrive,
             }
         )
+        if self.tracer is not None:
+            self.tracer.emit(
+                handoff.export_s, -1, "transfer", rid,
+                (src, dest, n_tokens, n_bytes, start, t_arrive),
+            )
 
     def run_sharded(
         self,

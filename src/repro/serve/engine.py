@@ -449,6 +449,14 @@ class ServingEngine:
         :meth:`export_kv` (KV migration); ``"decode"`` engines accept
         migrated requests via :meth:`import_kv` and generate the
         remaining tokens without recomputing prefill.
+    tracer:
+        Optional :class:`repro.obs.Tracer`. When set, the engine emits
+        virtual-time lifecycle and step events (arrive / admit /
+        prefill_chunk / first_token / preempt / finish / export /
+        import / step) tagged with ``trace_replica`` (the lane index a
+        cluster assigns; 0 standalone). Every instrumentation site is a
+        single ``if tracer is not None`` — an untraced run's results
+        are bit-identical.
     """
 
     def __init__(
@@ -462,6 +470,7 @@ class ServingEngine:
         kv_cache: PagedKVCache | None = None,
         scheduler="prefill-first",
         role: str = "unified",
+        tracer=None,
     ) -> None:
         if isinstance(recipe, str):
             recipe = QuantRecipe.from_name(recipe)
@@ -484,6 +493,8 @@ class ServingEngine:
         self.max_batch = max_batch
         self.model = model
         self.role = role
+        self.tracer = tracer
+        self.trace_replica = 0  # lane index in trace events (cluster sets it)
         self.scheduler: Scheduler = get_scheduler(scheduler)
         self._qc = None
         if model is not None:
@@ -615,6 +626,11 @@ class ServingEngine:
             token_ids=tuple(state.tokens),
         )
         self.kv_cache.free(request_id)
+        if self.tracer is not None:
+            self.tracer.emit(
+                self.clock, self.trace_replica, "export", request_id,
+                (handoff.tokens,),
+            )
         return handoff
 
     def import_kv(
@@ -671,6 +687,11 @@ class ServingEngine:
         state.ready_s = arrival_s
         self._submit_seq += 1
         insort(self._waiting, state)
+        if self.tracer is not None:
+            self.tracer.emit(
+                arrival_s, self.trace_replica, "import",
+                request.request_id, (transferred_tokens,),
+            )
 
     # -- incremental event API -----------------------------------------
     def submit(self, request: Request) -> None:
@@ -694,6 +715,11 @@ class ServingEngine:
         state.ready_s = request.arrival_s
         self._submit_seq += 1
         insort(self._waiting, state)
+        if self.tracer is not None:
+            self.tracer.emit(
+                request.arrival_s, self.trace_replica, "arrive",
+                request.request_id, (request.prompt_len, request.max_new_tokens),
+            )
 
     def _validate_admission(self, request: Request, total: int) -> None:
         """Shared enqueue validation (``submit`` and ``import_kv``):
@@ -828,6 +854,22 @@ class ServingEngine:
                 self._running.remove(state)
                 self._exportable[state.request.request_id] = state
                 handoff_ids.append(state.request.request_id)
+        if self.tracer is not None:
+            emit = self.tracer.emit
+            rep = self.trace_replica
+            emit(t_start, rep, "step", "",
+                 (clock, kind, n_prefill_rows, n_decode_rows, plan.notes))
+            for state, rows in plan.prefill:
+                emit(t_start, rep, "prefill_chunk",
+                     state.request.request_id, (rows, clock))
+            for state in plan.decode:
+                # first_token_s was stamped with this step's end clock iff
+                # the first output token completed just now.
+                if state.first_token_s == clock:
+                    emit(clock, rep, "first_token", state.request.request_id)
+            for state in done:
+                emit(clock, rep, "finish",
+                     state.request.request_id, (state.generated,))
         return StepEvent(
             t_start=t_start,
             t_end=self.clock,
@@ -954,6 +996,13 @@ class ServingEngine:
             admitted.append(nxt)
         if admitted:
             self._peak_running = max(self._peak_running, len(self._running))
+            if self.tracer is not None:
+                for state in admitted:
+                    self.tracer.emit(
+                        self.clock, self.trace_replica, "admit",
+                        state.request.request_id,
+                        (state.cached, state.admit_ctx),
+                    )
         return admitted
 
     def _preempt_overflow(self, plan: StepPlan) -> int:
@@ -996,6 +1045,11 @@ class ServingEngine:
             victim.queue_key = (0, -self._evict_tick, 0)
             insort(self._waiting, victim)  # queue head: recompute first
             evicted += 1
+            if self.tracer is not None:
+                self.tracer.emit(
+                    self.clock, self.trace_replica, "preempt",
+                    victim.request.request_id,
+                )
         self._preemptions += evicted
         return evicted
 

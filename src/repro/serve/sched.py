@@ -66,11 +66,17 @@ class StepPlan:
     attention kernels stay separate) or with legacy untagged groups (the
     pre-scheduler pricing — required for byte-identical reconciliation
     of the prefill-first policy).
+
+    ``notes`` is a policy-chosen annotation tuple of ``(key, value)``
+    pairs — free-form plan context (e.g. the chunk budget a chunked
+    prefill ran under) surfaced in trace step spans. Never consulted by
+    the engine, so an unannotated plan is behaviour-identical.
     """
 
     prefill: list = field(default_factory=list)  # [(state, rows), ...]
     decode: list = field(default_factory=list)  # [state, ...]
     tag_kinds: bool = False
+    notes: tuple = ()  # ((key, value), ...) — trace annotations only
 
     @property
     def empty(self) -> bool:
@@ -158,7 +164,13 @@ class ChunkedPrefillScheduler(Scheduler):
             rows = min(budget, state.prefill_remaining)
             prefill.append((state, rows))
             budget -= rows
-        return StepPlan(prefill=prefill, decode=decode, tag_kinds=True)
+        notes = ()
+        if prefill:
+            notes = (
+                ("chunk_budget", self.chunk_tokens),
+                ("chunk_rows", self.chunk_tokens - budget),
+            )
+        return StepPlan(prefill=prefill, decode=decode, tag_kinds=True, notes=notes)
 
 
 class DecodePriorityScheduler(Scheduler):

@@ -88,7 +88,7 @@ def plan_shards(
     return shards, assignments
 
 
-def _run_shard(payload: tuple) -> ServingResult:
+def _run_shard(payload: tuple) -> tuple:
     """Worker: replay one replica's shard on a fresh engine.
 
     Top-level (picklable) so it works under any multiprocessing start
@@ -96,10 +96,22 @@ def _run_shard(payload: tuple) -> ServingResult:
     drain / collect-in-input-order sequence the global loop drives per
     replica, so the returned :class:`~repro.serve.ServingResult` is the
     one ``cluster.run`` would report for this replica.
+
+    When ``trace`` is set the worker records into its own fresh
+    :class:`repro.obs.Tracer` tagged with the replica index and ships
+    the raw events back with the result; the parent merges all shards'
+    events into one canonical stream (see :func:`run_sharded`).
     """
-    cluster, shard = payload
+    cluster, shard, index, trace = payload
     engine = cluster._make_engine()
-    return engine.run(shard)
+    if trace:
+        from ..obs.trace import Tracer
+
+        engine.tracer = Tracer()
+        engine.trace_replica = index
+    result = engine.run(shard)
+    events = engine.tracer.raw_events() if trace else None
+    return result, events
 
 
 def run_sharded(
@@ -107,6 +119,7 @@ def run_sharded(
     requests: list[Request],
     n_workers: int | None = None,
     allow_approximate: bool = False,
+    tracer=None,
 ) -> FleetResult:
     """Run ``cluster``'s fleet simulation sharded across processes.
 
@@ -123,6 +136,15 @@ def run_sharded(
     their snapshot-free fallbacks. Autoscaling and disaggregated
     clusters are rejected — their replicas are coupled through global
     state that sharding cannot preserve.
+
+    ``tracer`` (a :class:`repro.obs.Tracer`, default
+    ``cluster.tracer``) extends the determinism contract to traces:
+    each worker records into a private per-replica tracer, the parent
+    synthesizes the plan-time ``route`` events the global loop would
+    have emitted, and the merged stream is ingested in canonical
+    ``(t, replica, kind, req, data)`` order — for shardable routers an
+    (uncapped) merged trace is event-for-event equal to the trace
+    ``cluster.run`` records in one process.
     """
     if cluster.disaggregated:
         raise ValueError(
@@ -141,19 +163,41 @@ def run_sharded(
             "routing uses its snapshot-free fallback and diverges from "
             "cluster.run() — pass allow_approximate=True to accept that"
         )
+    if tracer is None:
+        tracer = getattr(cluster, "tracer", None)
     requests = list(requests)
     shards, assignments = plan_shards(cluster, requests)
-    payloads = [(cluster, shard) for shard in shards]
+    trace = tracer is not None
+    payloads = [(cluster, shard, j, trace) for j, shard in enumerate(shards)]
     if n_workers is None:
         n_workers = min(cluster.n_replicas, os.cpu_count() or 1)
     if n_workers <= 1 or cluster._model is not None:
         # In-process fallback: identical merge path, no pickling. Numeric
         # mode stays here — model weights are not worth shipping to
         # workers for a simulation this size.
-        results = [_run_shard(p) for p in payloads]
+        outcomes = [_run_shard(p) for p in payloads]
     else:
         with multiprocessing.Pool(processes=n_workers) as pool:
-            results = pool.map(_run_shard, payloads)
+            outcomes = pool.map(_run_shard, payloads)
+    results = [res for res, _ in outcomes]
+    if trace:
+        # Reconstruct the cluster-lane events the global loop would have
+        # emitted (plan-time routing is event-loop routing for shardable
+        # routers), then merge every stream canonically.
+        from ..obs.trace import TraceEvent, merge_events
+
+        synthesized = [
+            TraceEvent(
+                request.arrival_s, -1, "route", request.request_id,
+                (assignments[request.request_id],),
+            )
+            for request in arrival_order(requests)
+        ]
+        tracer.ingest(
+            merge_events(
+                [synthesized] + [events for _, events in outcomes]
+            )
+        )
     by_id = {
         resp.request_id: resp for res in results for resp in res.responses
     }

@@ -18,6 +18,10 @@ import repro.bench.matrix
 import repro.bench.pricing
 import repro.bench.report
 import repro.gpu.inference
+import repro.obs.export
+import repro.obs.metrics
+import repro.obs.record
+import repro.obs.trace
 import repro.serve
 import repro.serve.cluster
 import repro.serve.engine
@@ -49,6 +53,10 @@ DOCTEST_MODULES = [
     repro.bench.matrix,
     repro.bench.pricing,
     repro.bench.report,
+    repro.obs.trace,
+    repro.obs.metrics,
+    repro.obs.export,
+    repro.obs.record,
 ]
 
 #: Markdown pages whose ``>>>`` snippets must run (tutorial doctests).
